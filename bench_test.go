@@ -1,0 +1,104 @@
+package sieve
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (§6). They share one cached Suite so the expensive pipeline
+// runs (five ShareLatex captures, the OpenStack correct/faulty pair) are
+// paid once per `go test -bench` invocation; each benchmark reports its
+// artifact's headline numbers via b.ReportMetric. Sizes follow the quick
+// configuration — run cmd/experiments for the paper-scale version.
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+)
+
+func sharedSuite() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.QuickConfig())
+	})
+	return benchSuite
+}
+
+// benchArtifact runs one experiment per iteration and reports its values.
+func benchArtifact(b *testing.B, run func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for k, v := range res.Values {
+				b.ReportMetric(v, k)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1MetricInventory regenerates Table 1 (metric populations
+// of the evaluated applications).
+func BenchmarkTable1MetricInventory(b *testing.B) {
+	benchArtifact(b, sharedSuite().Table1)
+}
+
+// BenchmarkFigure3ClusteringConsistency regenerates Fig. 3 (pairwise AMI
+// of cluster assignments across randomized runs; paper average 0.597).
+func BenchmarkFigure3ClusteringConsistency(b *testing.B) {
+	benchArtifact(b, sharedSuite().Figure3)
+}
+
+// BenchmarkFigure4MetricReduction regenerates Fig. 4 (metrics before and
+// after reduction per ShareLatex component; paper 889 -> 65).
+func BenchmarkFigure4MetricReduction(b *testing.B) {
+	benchArtifact(b, sharedSuite().Figure4)
+}
+
+// BenchmarkFigure5TracingOverhead regenerates Fig. 5 (HTTP completion
+// time under native / sysdig-style / tcpdump-style tracing; paper +22%
+// and +7%).
+func BenchmarkFigure5TracingOverhead(b *testing.B) {
+	benchArtifact(b, sharedSuite().Figure5)
+}
+
+// BenchmarkTable3MonitoringGains regenerates Table 3 (monitoring CPU,
+// storage and network before/after reduction; paper -81%/-94%/-79%/-51%).
+func BenchmarkTable3MonitoringGains(b *testing.B) {
+	benchArtifact(b, sharedSuite().Table3)
+}
+
+// BenchmarkFigure6DependencyGraph regenerates Fig. 6 (the ShareLatex
+// Granger dependency graph and its most frequent metric).
+func BenchmarkFigure6DependencyGraph(b *testing.B) {
+	benchArtifact(b, sharedSuite().Figure6)
+}
+
+// BenchmarkTable4Autoscaling regenerates Table 4 (CPU-threshold vs
+// Sieve-guided autoscaling under the WorldCup-shaped trace).
+func BenchmarkTable4Autoscaling(b *testing.B) {
+	benchArtifact(b, sharedSuite().Table4)
+}
+
+// BenchmarkTable5RCARanking regenerates Table 5 (OpenStack components
+// ranked by metric novelty between correct and faulty versions).
+func BenchmarkTable5RCARanking(b *testing.B) {
+	benchArtifact(b, sharedSuite().Table5)
+}
+
+// BenchmarkFigure7RCAFiltering regenerates Fig. 7 (cluster novelty
+// classification and the similarity-threshold edge-filtering sweep).
+func BenchmarkFigure7RCAFiltering(b *testing.B) {
+	benchArtifact(b, sharedSuite().Figure7)
+}
+
+// BenchmarkFigure8RCAFinalEdges regenerates Fig. 8 (final edge
+// differences among the top-5 suspect components).
+func BenchmarkFigure8RCAFinalEdges(b *testing.B) {
+	benchArtifact(b, sharedSuite().Figure8)
+}

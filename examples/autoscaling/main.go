@@ -1,0 +1,123 @@
+// Autoscaling: the paper's first case study (§6.2) in miniature. Sieve
+// analyzes ShareLatex, picks the metric that appears most often in
+// Granger relations, and drives threshold scaling with it; the same
+// workload is then replayed under the traditional per-component CPU rule
+// and the outcomes are compared (mean CPU usage, SLA violations, number
+// of scaling actions — the rows of Table 4). Thresholds for both
+// policies are refined against the SLA on a peak-load calibration
+// window, as the paper does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/sieve-microservices/sieve"
+)
+
+const (
+	slaMS      = 1000 // SLA: p90 entry latency below 1 second
+	trailTicks = 2400 // 20 simulated minutes at 500 ms
+)
+
+func main() {
+	// Phase 1: offline analysis run to learn the guiding metric.
+	app, err := sieve.NewShareLatex(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	artifact, _, err := sieve.Run(app, sieve.RandomLoad(7, 360, 200, 2500), sieve.DefaultPipelineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	guide, relations := artifact.Graph.MostFrequentMetric()
+	fmt.Printf("Sieve's guiding metric: %s (%d Granger relations)\n", guide, relations)
+	slash := strings.IndexByte(guide, '/')
+	guideComp, guideMetric := guide[:slash], guide[slash+1:]
+
+	trace := sieve.WorldCupLoad(9, trailTicks, 200, 2400)
+
+	// Phase 2: calibrate both policies' thresholds on an un-scaled replay
+	// (the paper refines thresholds iteratively against the SLA).
+	calApp, err := sieve.NewShareLatex(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guideProbe := sieve.NewMetricProbe(calApp.Registry(guideComp), guideMetric)
+	cpuProbe := sieve.NewMetricProbe(calApp.Registry("web"), "cpu_usage")
+	var guideVals, cpuVals, lats []float64
+	for _, rps := range trace {
+		calApp.Step(rps)
+		guideVals = append(guideVals, guideProbe.Value())
+		cpuVals = append(cpuVals, cpuProbe.Value())
+		lats = append(lats, calApp.EntryLatencyMS())
+	}
+	upS, downS, err := sieve.RefineThresholds(guideVals, lats, slaMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	upC, downC, err := sieve.RefineThresholds(cpuVals, lats, slaMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated thresholds: sieve up/down = %.0f/%.0f, cpu up/down = %.1f%%/%.1f%%\n\n",
+		upS, downS, upC, downC)
+
+	sieveRules, _, err := sieve.SieveScalingPolicy(artifact, upS, downS, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuRules := sieve.CPUScalingPolicy(
+		[]string{"web", "real-time", "doc-updater", "docstore", "clsi", "chat", "haproxy"},
+		upC, downC, 10)
+
+	// Phase 3: replay under each policy.
+	type outcome struct {
+		name       string
+		violations int
+		samples    int
+		actions    int
+		meanCPU    float64
+	}
+	replay := func(name string, rules []sieve.AutoscaleRule) outcome {
+		a, err := sieve.NewShareLatex(42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err := sieve.NewAutoscaler(a, rules, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sla := sieve.NewSLATracker(slaMS, 5)
+		comps := a.Components()
+		var cpuSum float64
+		for _, rps := range trace {
+			a.Step(rps)
+			engine.Step()
+			sla.Observe(a.EntryLatencyMS())
+			var tick float64
+			for _, c := range comps {
+				tick += a.Utilization(c) * 100
+			}
+			cpuSum += tick / float64(len(comps))
+		}
+		return outcome{
+			name:       name,
+			violations: sla.Violations(),
+			samples:    sla.Samples(),
+			actions:    len(engine.Actions()),
+			meanCPU:    cpuSum / float64(len(trace)),
+		}
+	}
+
+	results := []outcome{
+		replay("CPU rule", cpuRules),
+		replay("Sieve rule", sieveRules),
+	}
+
+	fmt.Printf("%-12s %-16s %-10s %s\n", "Policy", "SLA violations", "Actions", "Mean CPU/component")
+	for _, r := range results {
+		fmt.Printf("%-12s %4d/%-10d %-10d %.2f%%\n", r.name, r.violations, r.samples, r.actions, r.meanCPU)
+	}
+}

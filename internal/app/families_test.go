@@ -1,0 +1,49 @@
+package app
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemFamiliesCount(t *testing.T) {
+	if got := CountMetrics(SystemFamilies(), nil); got != 25 {
+		t.Errorf("system families export %d metrics, want 25", got)
+	}
+}
+
+func TestGenFamiliesExactCountAndDeterminism(t *testing.T) {
+	a := GenFamilies("svc", 17, PhaseAlways)
+	if got := CountMetrics(a, nil); got != 17 {
+		t.Errorf("generated %d metrics, want 17", got)
+	}
+	b := GenFamilies("svc", 17, PhaseAlways)
+	for i := range a {
+		if a[i].Base != b[i].Base || a[i].Driver != b[i].Driver ||
+			a[i].Scale != b[i].Scale || a[i].Noise != b[i].Noise ||
+			a[i].Counter != b[i].Counter || a[i].Phase != b[i].Phase {
+			t.Fatalf("GenFamilies not deterministic at %d", i)
+		}
+	}
+	for _, f := range a {
+		if !strings.HasPrefix(f.Base, "svc_") {
+			t.Errorf("family %q missing prefix", f.Base)
+		}
+		if f.Phase != PhaseAlways {
+			t.Errorf("family %q has phase %v", f.Base, f.Phase)
+		}
+	}
+	if got := CountMetrics(GenFamilies("x", 0, PhaseAlways), nil); got != 0 {
+		t.Errorf("zero request generated %d", got)
+	}
+}
+
+func TestCountMetricsWithVariantsAndConstants(t *testing.T) {
+	fams := []Family{
+		{Base: "a", Variants: []string{"x", "y", "z"}},
+		{Base: "b"},
+	}
+	consts := map[string]float64{"c1": 1, "c2": 2}
+	if got := CountMetrics(fams, consts); got != 6 {
+		t.Errorf("CountMetrics = %d, want 6", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sharelatex defines the simulated ShareLatex deployment used by
+// the paper's autoscaling case study (§4.1, §6.2): a load balancer
+// (haproxy), the web frontend, the real-time editing service, nine further
+// node.js microservices, a KV store (redis) and two databases (mongodb,
+// postgresql) — 15 components exporting ~889 metrics, matching the
+// population reported in §6.1.2.
+package sharelatex
+
+import (
+	"fmt"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+)
+
+// TickMS is the simulation step, matching Sieve's 500 ms discretization.
+const TickMS = 500
+
+// HubMetric is the metric the paper found to appear most often in Granger
+// relations and used as the autoscaling trigger (§6.2).
+const HubMetric = "http-requests_Project_id_GET_mean"
+
+// Spec returns the ShareLatex application spec.
+func Spec() app.Spec {
+	var comps []app.ComponentSpec
+	host := func(i int) string { return fmt.Sprintf("10.1.0.%d:8080", i) }
+
+	constants := func(service string, n int) map[string]float64 {
+		m := map[string]float64{
+			service + "_build_info":      1,
+			service + "_max_connections": 1024,
+			service + "_version":         3,
+		}
+		extra := []string{"_limit_bytes", "_pool_size", "_config_hash"}
+		for i := 0; i < n-3 && i < len(extra); i++ {
+			m[service+extra[i]] = float64(100 * (i + 1))
+		}
+		return m
+	}
+
+	// node.js microservice template: system + HTTP + service-specific tail.
+	node := func(name string, idx int, serviceMS, capacity float64, calls []app.Call, extraFams ...app.Family) app.ComponentSpec {
+		fams := app.SystemFamilies()
+		fams = append(fams, app.HTTPServiceFamilies(fmt.Sprintf("http-requests_%s_POST", name))...)
+		fams = append(fams, app.GenFamilies(name, 12, app.PhaseAlways)...)
+		fams = append(fams, extraFams...)
+		return app.ComponentSpec{
+			Name:                name,
+			Addr:                host(idx),
+			ServiceMS:           serviceMS,
+			CapacityPerInstance: capacity,
+			Instances:           1,
+			Calls:               calls,
+			Families:            fams,
+			Constants:           constants(name, 6),
+			MemBaseMB:           256,
+		}
+	}
+
+	// haproxy: the entry load balancer.
+	haproxyFams := app.SystemFamilies()
+	haproxyFams = append(haproxyFams,
+		app.Family{Base: "haproxy_sessions", Driver: app.DriverRate, Scale: 2, Noise: 0.05,
+			Variants: []string{"current", "rate", "max_observed"}},
+		app.Family{Base: "haproxy_backend_response_ms", Driver: app.DriverLatency, Scale: 1, Noise: 0.05,
+			Variants: []string{"mean", "p95"}},
+		app.Family{Base: "haproxy_queue_current", Driver: app.DriverQueue, Scale: 1, Noise: 0.1},
+		app.Family{Base: "haproxy_retries_total", Driver: app.DriverErrors, Counter: true},
+		app.Family{Base: "haproxy_bytes_in_total", Driver: app.DriverRate, Scale: 1100, Counter: true},
+		app.Family{Base: "haproxy_bytes_out_total", Driver: app.DriverRate, Scale: 5200, Counter: true},
+	)
+	haproxyFams = append(haproxyFams, app.GenFamilies("haproxy", 16, app.PhaseAlways)...)
+	comps = append(comps, app.ComponentSpec{
+		Name:                "haproxy",
+		Addr:                "10.1.0.1:80",
+		ServiceMS:           1.2,
+		CapacityPerInstance: 4000,
+		Instances:           1,
+		Entry:               true,
+		Calls: []app.Call{
+			{Target: "web", Prob: 0.8},
+			{Target: "real-time", Prob: 0.2},
+		},
+		Families:  haproxyFams,
+		Constants: constants("haproxy", 6),
+		MemBaseMB: 128,
+	})
+
+	// web: the hub frontend. Exports the paper's hub metric.
+	webFams := app.SystemFamilies()
+	webFams = append(webFams,
+		app.Family{Base: "http-requests_Project_id_GET", Driver: app.DriverLatency, Scale: 1, Noise: 0.04,
+			Variants: []string{"mean", "p50", "p95", "p99", "count"}},
+	)
+	webFams = append(webFams, app.HTTPServiceFamilies("http-requests_editor_POST")...)
+	webFams = append(webFams, app.GenFamilies("web", 14, app.PhaseAlways)...)
+	comps = append(comps, app.ComponentSpec{
+		Name:                "web",
+		Addr:                host(2),
+		ServiceMS:           18,
+		CapacityPerInstance: 220,
+		Instances:           1,
+		Calls: []app.Call{
+			{Target: "chat", Prob: 0.1},
+			{Target: "clsi", Prob: 0.15},
+			{Target: "contacts", Prob: 0.05},
+			{Target: "docstore", Prob: 0.4},
+			{Target: "doc-updater", Prob: 0.5},
+			{Target: "filestore", Prob: 0.2},
+			{Target: "spelling", Prob: 0.15},
+			{Target: "tags", Prob: 0.05},
+			{Target: "track-changes", Prob: 0.1},
+			{Target: "postgresql", Prob: 0.3},
+			{Target: "redis", Prob: 0.6},
+		},
+		Families:  webFams,
+		Constants: constants("web", 6),
+		MemBaseMB: 512,
+	})
+
+	comps = append(comps,
+		node("real-time", 3, 6, 700, []app.Call{
+			{Target: "redis", Prob: 1.2},
+			{Target: "doc-updater", Prob: 0.7},
+		}),
+		node("chat", 4, 8, 500, []app.Call{{Target: "mongodb", Prob: 1.0}}),
+		node("clsi", 5, 120, 60, []app.Call{{Target: "postgresql", Prob: 0.8}}),
+		node("contacts", 6, 7, 500, []app.Call{{Target: "mongodb", Prob: 1.0}}),
+		node("doc-updater", 7, 10, 400, []app.Call{
+			{Target: "mongodb", Prob: 0.8},
+			{Target: "redis", Prob: 1.5},
+			{Target: "track-changes", Prob: 0.4},
+		}),
+		node("docstore", 8, 9, 450, []app.Call{{Target: "mongodb", Prob: 1.1}}),
+		node("filestore", 9, 25, 250, nil),
+		node("spelling", 10, 12, 350, []app.Call{{Target: "mongodb", Prob: 0.5}}),
+		node("tags", 11, 6, 500, []app.Call{{Target: "mongodb", Prob: 0.9}}),
+		node("track-changes", 12, 11, 350, []app.Call{{Target: "mongodb", Prob: 1.2}}),
+	)
+
+	// Datastores.
+	dbComp := func(name string, idx int, kind string, serviceMS, capacity float64, extra int) app.ComponentSpec {
+		fams := app.SystemFamilies()
+		fams = append(fams, app.DatastoreFamilies(kind)...)
+		fams = append(fams, app.GenFamilies(kind, extra, app.PhaseAlways)...)
+		return app.ComponentSpec{
+			Name:                name,
+			Addr:                host(idx),
+			ServiceMS:           serviceMS,
+			CapacityPerInstance: capacity,
+			Instances:           1,
+			Families:            fams,
+			Constants:           constants(kind, 6),
+			MemBaseMB:           1024,
+		}
+	}
+	comps = append(comps,
+		dbComp("mongodb", 13, "mongodb", 4, 6000, 16),
+		dbComp("postgresql", 14, "postgres", 5, 2000, 16),
+		dbComp("redis", 15, "redis", 0.8, 8000, 16),
+	)
+
+	return app.Spec{Name: "sharelatex", TickMS: TickMS, Components: comps}
+}
+
+// New builds a ready-to-run ShareLatex simulation.
+func New(seed int64) (*app.App, error) {
+	return app.New(Spec(), seed)
+}

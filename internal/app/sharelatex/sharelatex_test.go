@@ -1,0 +1,99 @@
+package sharelatex
+
+import (
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/trace"
+)
+
+func TestSpecBuilds(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Components()); got != 15 {
+		t.Errorf("components = %d, want 15 (LB + web + real-time + 9 services + 3 stores)", got)
+	}
+}
+
+func TestMetricPopulationNearPaper(t *testing.T) {
+	// The paper reports 889 unique metrics for ShareLatex (§6.1.2). The
+	// simulator should land in the same ballpark.
+	spec := Spec()
+	total := 0
+	for _, c := range spec.Components {
+		total += app.CountMetrics(c.Families, c.Constants)
+	}
+	if total < 800 || total > 980 {
+		t.Errorf("total metric population = %d, want ~889 (800..980)", total)
+	}
+}
+
+func TestRunExportsHubMetric(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.Step(200)
+	}
+	reg := a.Registry("web")
+	if reg == nil {
+		t.Fatal("web registry missing")
+	}
+	found := false
+	for _, n := range reg.Names() {
+		if n == HubMetric {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hub metric %q not exported by web", HubMetric)
+	}
+}
+
+func TestCallGraphShape(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.NewTracer(1<<16, nil)
+	a.AttachTracer(tr)
+	for i := 0; i < 20; i++ {
+		a.Step(300)
+	}
+	g := callgraph.FromSyscallEvents(tr.Events())
+	for _, edge := range [][2]string{
+		{"haproxy", "web"},
+		{"haproxy", "real-time"},
+		{"web", "doc-updater"},
+		{"doc-updater", "mongodb"},
+		{"doc-updater", "redis"},
+		{"real-time", "redis"},
+		{"clsi", "postgresql"},
+	} {
+		if !g.HasEdge(edge[0], edge[1]) {
+			t.Errorf("missing call edge %s -> %s", edge[0], edge[1])
+		}
+	}
+	if g.HasEdge("mongodb", "web") {
+		t.Error("datastores must not call services")
+	}
+}
+
+func TestLoadReachesAllComponents(t *testing.T) {
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		a.Step(400)
+	}
+	for _, name := range a.Components() {
+		if a.Utilization(name) <= 0 {
+			t.Errorf("component %s saw no load", name)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/trace"
+)
+
+func TestGraphBasicOps(t *testing.T) {
+	g := New()
+	g.AddCall("web", "db", 3)
+	g.AddCall("web", "db", 2)
+	g.AddCall("web", "cache", 1)
+	g.AddCall("cache", "db", 1)
+	g.AddComponent("idle")
+
+	if got := g.Calls("web", "db"); got != 5 {
+		t.Errorf("Calls(web,db) = %d, want 5", got)
+	}
+	if !g.HasEdge("web", "cache") || g.HasEdge("db", "web") {
+		t.Error("HasEdge wrong")
+	}
+	wantComponents := []string{"cache", "db", "idle", "web"}
+	got := g.Components()
+	if len(got) != len(wantComponents) {
+		t.Fatalf("components = %v", got)
+	}
+	for i := range wantComponents {
+		if got[i] != wantComponents[i] {
+			t.Fatalf("components = %v, want %v", got, wantComponents)
+		}
+	}
+	if callees := g.Callees("web"); len(callees) != 2 || callees[0] != "cache" || callees[1] != "db" {
+		t.Errorf("Callees(web) = %v", callees)
+	}
+	if callers := g.Callers("db"); len(callers) != 2 || callers[0] != "cache" || callers[1] != "web" {
+		t.Errorf("Callers(db) = %v", callers)
+	}
+}
+
+func TestGraphIgnoresDegenerateEdges(t *testing.T) {
+	g := New()
+	g.AddCall("a", "a", 5) // self
+	g.AddCall("", "b", 1)  // empty caller
+	g.AddCall("a", "", 1)  // empty callee
+	g.AddCall("a", "b", 0) // non-positive count
+	if len(g.Edges()) != 0 {
+		t.Errorf("edges = %v, want none", g.Edges())
+	}
+}
+
+func TestGraphEdgesSorted(t *testing.T) {
+	g := New()
+	g.AddCall("z", "a", 1)
+	g.AddCall("a", "z", 2)
+	g.AddCall("a", "b", 3)
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0].Caller != "a" || edges[0].Callee != "b" {
+		t.Errorf("first edge = %+v", edges[0])
+	}
+	if edges[2].Caller != "z" {
+		t.Errorf("last edge = %+v", edges[2])
+	}
+}
+
+func TestCommunicatingPairsDeduplicated(t *testing.T) {
+	g := New()
+	g.AddCall("a", "b", 1)
+	g.AddCall("b", "a", 1) // same unordered pair
+	g.AddCall("b", "c", 1)
+	pairs := g.CommunicatingPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 unique", pairs)
+	}
+	if pairs[0] != [2]string{"a", "b"} || pairs[1] != [2]string{"b", "c"} {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New()
+	g.AddCall("web", "db", 7)
+	dot := g.DOT()
+	for _, want := range []string{"digraph callgraph", `"web" -> "db" [label=7]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestFromSyscallEvents(t *testing.T) {
+	events := []trace.Event{
+		// db listens on 10.0.0.2:5432 (accept establishes ownership).
+		{Type: trace.EventAccept, Process: "db", Local: "10.0.0.2:5432", Remote: "10.0.0.1:40001"},
+		// web connects to db twice.
+		{Type: trace.EventConnect, Process: "web", Local: "10.0.0.1:40001", Remote: "10.0.0.2:5432"},
+		{Type: trace.EventConnect, Process: "web", Local: "10.0.0.1:40002", Remote: "10.0.0.2:5432"},
+		// Reads and writes must not create edges.
+		{Type: trace.EventWrite, Process: "web", Local: "10.0.0.1:40001", Remote: "10.0.0.2:5432", Bytes: 100},
+		// Connect to an unmonitored endpoint is dropped.
+		{Type: trace.EventConnect, Process: "web", Remote: "8.8.8.8:53"},
+	}
+	g := FromSyscallEvents(events)
+	if got := g.Calls("web", "db"); got != 2 {
+		t.Errorf("Calls(web,db) = %d, want 2", got)
+	}
+	if len(g.Edges()) != 1 {
+		t.Errorf("edges = %v", g.Edges())
+	}
+}
+
+func TestFromPacketPairsNeedsAddressMap(t *testing.T) {
+	pairs := map[[2]string]int{
+		{"10.0.0.1:40001", "10.0.0.2:5432"}: 3,
+		{"10.0.0.9:40002", "10.0.0.2:5432"}: 2, // unmapped source (NAT)
+	}
+	addrMap := map[string]string{
+		"10.0.0.1:40001": "web",
+		"10.0.0.2:5432":  "db",
+	}
+	g := FromPacketPairs(pairs, addrMap)
+	if got := g.Calls("web", "db"); got != 3 {
+		t.Errorf("Calls(web,db) = %d, want 3", got)
+	}
+	// The NAT-hidden pair is silently lost: the packet-capture context gap.
+	if len(g.Edges()) != 1 {
+		t.Errorf("edges = %v, want only the mapped pair", g.Edges())
+	}
+}

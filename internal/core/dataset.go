@@ -1,0 +1,199 @@
+// Package core orchestrates the three-step Sieve pipeline (§2.3): load
+// the application while recording metrics and the call graph (step 1),
+// reduce each component's metrics to representatives via variance
+// filtering and k-Shape clustering (step 2), and identify inter-component
+// dependencies with pairwise Granger-causality tests restricted to
+// communicating components (step 3). The pipeline's end product is an
+// Artifact — reductions plus a typed dependency graph — that the
+// autoscaling and RCA engines consume.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+	"github.com/sieve-microservices/sieve/internal/metrics"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+	"github.com/sieve-microservices/sieve/internal/trace"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// Dataset is the captured observation of one load run: every metric as a
+// regular time series plus the call graph.
+type Dataset struct {
+	// App names the application.
+	App string
+	// StepMS is the sampling grid (the paper's 500 ms discretization).
+	StepMS int64
+	// Start and End bound the capture window in milliseconds.
+	Start, End int64
+	// Series maps component -> metric -> resampled series.
+	Series map[string]map[string]*timeseries.Regular
+	// CallGraph holds the observed component communication.
+	CallGraph *callgraph.Graph
+}
+
+// Components returns the components present in the dataset, sorted.
+func (d *Dataset) Components() []string {
+	out := make([]string, 0, len(d.Series))
+	for c := range d.Series {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetricNames returns a component's captured metric names, sorted.
+func (d *Dataset) MetricNames(component string) []string {
+	m := d.Series[component]
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalMetrics counts all captured series.
+func (d *Dataset) TotalMetrics() int {
+	n := 0
+	for _, m := range d.Series {
+		n += len(m)
+	}
+	return n
+}
+
+// Get returns one series or nil.
+func (d *Dataset) Get(component, metric string) *timeseries.Regular {
+	return d.Series[component][metric]
+}
+
+// CaptureResult bundles the dataset with the monitoring-plane state so
+// experiments can inspect resource accounting (Table 3) and tracer
+// overhead (Fig. 5).
+type CaptureResult struct {
+	// Dataset is the resampled capture.
+	Dataset *Dataset
+	// DB is the backing store with its resource accounting.
+	DB *tsdb.DB
+	// Collector reports the scrape-side accounting.
+	Collector *metrics.Collector
+	// Tracer is the syscall tracer used for the call graph.
+	Tracer *trace.Tracer
+}
+
+// CaptureOptions tunes Capture.
+type CaptureOptions struct {
+	// ScrapeEvery scrapes metrics every N ticks (default 1).
+	ScrapeEvery int
+	// TracerCapacity bounds the syscall ring buffer (default 1<<18).
+	TracerCapacity int
+	// Allowlist, when non-nil, restricts collection to these
+	// component/metric keys (used to measure the reduced pipeline).
+	Allowlist []string
+	// OnTick, when non-nil, runs after each simulation step (after the
+	// scrape), receiving the tick index and simulated time.
+	OnTick func(tick int, nowMS int64)
+}
+
+// Capture performs Sieve's step 1: drive the application with the load
+// pattern, scrape all component registries into a fresh store each tick,
+// record the syscall stream, and return the resampled dataset plus the
+// monitoring-plane handles.
+func Capture(a *app.App, pattern loadgen.Pattern, opts CaptureOptions) (*CaptureResult, error) {
+	if len(pattern) == 0 {
+		return nil, errors.New("core: empty load pattern")
+	}
+	scrapeEvery := opts.ScrapeEvery
+	if scrapeEvery <= 0 {
+		scrapeEvery = 1
+	}
+	capacity := opts.TracerCapacity
+	if capacity <= 0 {
+		capacity = 1 << 18
+	}
+
+	db := tsdb.New()
+	coll, err := metrics.NewCollector(db, a.Registries()...)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Allowlist != nil {
+		coll.SetAllowlist(opts.Allowlist)
+	}
+	tr := trace.NewTracer(capacity, nil)
+	a.AttachTracer(tr)
+
+	start := a.Now()
+	var scrapeErr error
+	loadgen.Drive(a, pattern, func(tick int, nowMS int64) {
+		if tick%scrapeEvery == 0 && scrapeErr == nil {
+			if _, err := coll.ScrapeOnce(nowMS); err != nil {
+				scrapeErr = err
+			}
+		}
+		if opts.OnTick != nil {
+			opts.OnTick(tick, nowMS)
+		}
+	})
+	if scrapeErr != nil {
+		return nil, fmt.Errorf("core: scraping during capture: %w", scrapeErr)
+	}
+	end := a.Now()
+
+	ds, err := DatasetFromDB(db, a.Name(), a.TickMS(), start, end)
+	if err != nil {
+		return nil, err
+	}
+	ds.CallGraph = callgraph.FromSyscallEvents(tr.Events())
+	return &CaptureResult{Dataset: ds, DB: db, Collector: coll, Tracer: tr}, nil
+}
+
+// DatasetFromDB reads every series in the store, resamples it onto the
+// given grid, and assembles a Dataset (without a call graph).
+func DatasetFromDB(db *tsdb.DB, appName string, stepMS, start, end int64) (*Dataset, error) {
+	if end <= start {
+		return nil, fmt.Errorf("core: empty capture window [%d,%d)", start, end)
+	}
+	ds := &Dataset{
+		App:    appName,
+		StepMS: stepMS,
+		Start:  start,
+		End:    end,
+		Series: map[string]map[string]*timeseries.Regular{},
+	}
+	for _, key := range db.SeriesKeys() {
+		slash := strings.IndexByte(key, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("core: malformed series key %q", key)
+		}
+		component, metric := key[:slash], key[slash+1:]
+		pts, err := db.Query(component, metric, start, end)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading %q: %w", key, err)
+		}
+		raw := &timeseries.Series{Name: metric}
+		for _, p := range pts {
+			raw.Append(p.T, p.V)
+		}
+		reg, err := timeseries.Resample(raw, start, end, stepMS)
+		if err != nil {
+			// Series with no usable points in the window (e.g. created at
+			// the very end) are skipped, not fatal.
+			continue
+		}
+		if ds.Series[component] == nil {
+			ds.Series[component] = map[string]*timeseries.Regular{}
+		}
+		ds.Series[component][metric] = reg
+	}
+	if len(ds.Series) == 0 {
+		return nil, errors.New("core: capture produced no series")
+	}
+	return ds, nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sieve-microservices/sieve/internal/granger"
+)
+
+// DepOptions tunes Sieve's step 3.
+type DepOptions struct {
+	// DelayMS is the conservative inter-component delay bound used to
+	// derive the Granger lag order from the sampling grid; 0 means the
+	// paper's 500 ms.
+	DelayMS int64
+	// Alpha is the F-test significance level; 0 means 0.05.
+	Alpha float64
+	// KeepBidirectional retains bidirectional edges instead of filtering
+	// them as spurious (used by the ablation bench; the paper filters).
+	KeepBidirectional bool
+}
+
+func (o DepOptions) withDefaults() DepOptions {
+	if o.DelayMS <= 0 {
+		o.DelayMS = 500
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = granger.DefaultAlpha
+	}
+	return o
+}
+
+// DependencyEdge is one inferred metric-level dependency: From's metric
+// Granger-causes To's metric.
+type DependencyEdge struct {
+	// From and To are components; direction follows the causality.
+	From, To string
+	// FromMetric and ToMetric are the representative metrics involved.
+	FromMetric, ToMetric string
+	// LagMS is the predictive lag in milliseconds (lag order x grid).
+	LagMS int64
+	// PValue and F come from the winning F-test.
+	PValue, F float64
+}
+
+// DependencyGraph is the output of step 3.
+type DependencyGraph struct {
+	// Edges are all retained metric-level dependencies.
+	Edges []DependencyEdge
+	// Bidirectional counts the edges filtered as spurious.
+	Bidirectional int
+	// Tested counts the metric pairs examined.
+	Tested int
+}
+
+// ComponentPairs returns the distinct (from, to) component pairs with at
+// least one edge, sorted.
+func (g *DependencyGraph) ComponentPairs() [][2]string {
+	seen := map[[2]string]bool{}
+	for _, e := range g.Edges {
+		seen[[2]string{e.From, e.To}] = true
+	}
+	out := make([][2]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// EdgesBetween returns the edges from one component to another.
+func (g *DependencyGraph) EdgesBetween(from, to string) []DependencyEdge {
+	var out []DependencyEdge
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MetricFrequency counts how often each component/metric participates in
+// an edge (either side). The autoscaling engine picks the most frequent
+// metric as its scaling signal (§4.1 step 1).
+func (g *DependencyGraph) MetricFrequency() map[string]int {
+	freq := map[string]int{}
+	for _, e := range g.Edges {
+		freq[e.From+"/"+e.FromMetric]++
+		freq[e.To+"/"+e.ToMetric]++
+	}
+	return freq
+}
+
+// MostFrequentMetric returns the component/metric key appearing in the
+// most Granger relations, with its count (ties broken lexicographically
+// for determinism).
+func (g *DependencyGraph) MostFrequentMetric() (string, int) {
+	freq := g.MetricFrequency()
+	keys := make([]string, 0, len(freq))
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best, bestN := "", 0
+	for _, k := range keys {
+		if freq[k] > bestN {
+			best, bestN = k, freq[k]
+		}
+	}
+	return best, bestN
+}
+
+// DOT renders the component-level dependency graph in Graphviz format.
+func (g *DependencyGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph dependencies {\n")
+	for _, p := range g.ComponentPairs() {
+		n := len(g.EdgesBetween(p[0], p[1]))
+		fmt.Fprintf(&b, "  %q -> %q [label=%d];\n", p[0], p[1], n)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// IdentifyDependencies performs Sieve's step 3: for every communicating
+// component pair (from the call graph), it Granger-tests each
+// representative metric of one side against each representative of the
+// other, in both directions, keeping significant unidirectional
+// relationships and discarding bidirectional ones as confounded (§3.3).
+func IdentifyDependencies(ds *Dataset, red Reduction, opts DepOptions) (*DependencyGraph, error) {
+	opts = opts.withDefaults()
+	if ds.CallGraph == nil {
+		return nil, fmt.Errorf("core: dataset has no call graph")
+	}
+	maxLag := granger.LagSamples(opts.DelayMS, ds.StepMS)
+	gopts := granger.Options{MaxLag: maxLag, Alpha: opts.Alpha}
+
+	out := &DependencyGraph{}
+	for _, pair := range ds.CallGraph.CommunicatingPairs() {
+		a, b := pair[0], pair[1]
+		ra, rb := red[a], red[b]
+		if ra == nil || rb == nil {
+			continue
+		}
+		for _, ca := range ra.Clusters {
+			for _, cb := range rb.Clusters {
+				sa := ds.Get(a, ca.Representative)
+				sb := ds.Get(b, cb.Representative)
+				if sa == nil || sb == nil {
+					continue
+				}
+				out.Tested++
+				dir, xy, yx, err := granger.Direction(sa.Values, sb.Values, gopts)
+				if err != nil {
+					// Series too short or degenerate for this pair; skip.
+					continue
+				}
+				switch dir {
+				case granger.XCausesY:
+					out.Edges = append(out.Edges, edgeFrom(a, b, ca.Representative, cb.Representative, xy, ds.StepMS))
+				case granger.YCausesX:
+					out.Edges = append(out.Edges, edgeFrom(b, a, cb.Representative, ca.Representative, yx, ds.StepMS))
+				case granger.Bidirectional:
+					if opts.KeepBidirectional {
+						out.Edges = append(out.Edges,
+							edgeFrom(a, b, ca.Representative, cb.Representative, xy, ds.StepMS),
+							edgeFrom(b, a, cb.Representative, ca.Representative, yx, ds.StepMS))
+					} else {
+						out.Bidirectional++
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		ei, ej := out.Edges[i], out.Edges[j]
+		if ei.From != ej.From {
+			return ei.From < ej.From
+		}
+		if ei.To != ej.To {
+			return ei.To < ej.To
+		}
+		if ei.FromMetric != ej.FromMetric {
+			return ei.FromMetric < ej.FromMetric
+		}
+		return ei.ToMetric < ej.ToMetric
+	})
+	return out, nil
+}
+
+func edgeFrom(from, to, fromMetric, toMetric string, t *granger.TestResult, stepMS int64) DependencyEdge {
+	return DependencyEdge{
+		From:       from,
+		To:         to,
+		FromMetric: fromMetric,
+		ToMetric:   toMetric,
+		LagMS:      int64(t.Lag) * stepMS,
+		PValue:     t.PValue,
+		F:          t.F,
+	}
+}

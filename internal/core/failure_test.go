@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// TestPipelineSurvivesScrapeGaps injects gaps into the capture (dropped
+// scrapes, as from timeouts or lost packets) and checks the pipeline
+// still produces a usable artifact via spline reconstruction (§3.2).
+func TestPipelineSurvivesScrapeGaps(t *testing.T) {
+	a, err := app.New(chainSpec(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrape only every 3rd tick: two thirds of the grid slots are gaps
+	// the resampler has to reconstruct.
+	res, err := Capture(a, loadgen.Random(4, 180, 100, 1500), CaptureOptions{ScrapeEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := res.Dataset
+	s := ds.Get("api", "api_latency_ms_mean")
+	if s == nil {
+		t.Fatal("series missing")
+	}
+	if s.Len() != 180 {
+		t.Fatalf("series length = %d, want full 180-slot grid", s.Len())
+	}
+	if timeseries.HasNaN(s.Values) {
+		t.Fatal("gaps not reconstructed")
+	}
+	red, err := Reduce(ds, DefaultReduceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := IdentifyDependencies(ds, red, DepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Tested == 0 {
+		t.Error("no pairs tested on gappy capture")
+	}
+}
+
+// TestPipelineSurvivesMetricAppearingMidRun verifies that lazily-created
+// series (error paths firing late) are clamped into full-grid series and
+// do not break reduction.
+func TestPipelineSurvivesMetricAppearingMidRun(t *testing.T) {
+	spec := chainSpec()
+	// The fault makes the api emit errors; arm it halfway through by
+	// toggling the fault through the OnTick hook.
+	a, err := app.New(spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Components[2].Families = append(spec.Components[2].Families,
+		app.Family{Base: "late_series", Driver: app.DriverErrors, Phase: app.PhaseFaultyOnly})
+
+	b, err := app.New(spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	res, err := Capture(b, loadgen.Constant(200, 120), CaptureOptions{
+		OnTick: func(tick int, nowMS int64) {
+			if tick == 60 {
+				b.SetFault(true)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Dataset.Get("db", "late_series")
+	if s == nil {
+		t.Fatal("late series not captured")
+	}
+	if s.Len() != 120 {
+		t.Fatalf("late series length = %d, want clamped to the full grid", s.Len())
+	}
+	if _, err := Reduce(res.Dataset, DefaultReduceOptions()); err != nil {
+		t.Fatalf("reduction failed on late series: %v", err)
+	}
+}
+
+// TestPipelineSurvivesTracerOverflow forces ring-buffer drops and checks
+// the call graph stays usable (connect/accept pairs may be lost, but the
+// pipeline must not fail).
+func TestPipelineSurvivesTracerOverflow(t *testing.T) {
+	a, err := app.New(chainSpec(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Capture(a, loadgen.Constant(500, 150), CaptureOptions{TracerCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tracer.Stats().Dropped == 0 {
+		t.Fatal("test setup: expected ring drops")
+	}
+	// The graph may be partial but the pipeline completes.
+	red, err := Reduce(res.Dataset, DefaultReduceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IdentifyDependencies(res.Dataset, red, DepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceSurvivesPathologicalSeries feeds constant, spiky and
+// NaN-tainted series through reduction directly.
+func TestReduceSurvivesPathologicalSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mk := func(vals []float64) *timeseries.Regular {
+		return &timeseries.Regular{StepMS: 500, Values: vals}
+	}
+	noisy := make([]float64, 60)
+	spiky := make([]float64, 60)
+	nan := make([]float64, 60)
+	for i := range noisy {
+		noisy[i] = rng.NormFloat64()
+		if i == 30 {
+			spiky[i] = 1e12
+		}
+		nan[i] = rng.NormFloat64()
+	}
+	nan[10] = nan[10] * 0 / 0 // NaN
+
+	ds := &Dataset{
+		App:    "patho",
+		StepMS: 500,
+		End:    60 * 500,
+		Series: map[string]map[string]*timeseries.Regular{
+			"c": {
+				"constant": mk(make([]float64, 60)),
+				"noisy":    mk(noisy),
+				"spiky":    mk(spiky),
+				"nan":      mk(nan),
+			},
+		},
+	}
+	red, err := Reduce(ds, DefaultReduceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := red["c"]
+	if !containsStr(cr.Filtered, "constant") {
+		t.Error("constant series must be filtered")
+	}
+	if !containsStr(cr.Filtered, "nan") {
+		t.Error("NaN series must be filtered, not clustered")
+	}
+	for _, c := range cr.Clusters {
+		if c.Representative == "" {
+			t.Error("cluster without representative")
+		}
+	}
+}
+
+// TestDatasetFromDBSkipsUnusableSeries covers series entirely outside
+// the capture window.
+func TestDatasetFromDBSkipsUnusableSeries(t *testing.T) {
+	db := tsdb.New()
+	db.WriteSamples([]tsdb.Sample{
+		{Component: "a", Metric: "inside", T: 100, V: 1},
+		{Component: "a", Metric: "inside", T: 600, V: 2},
+		{Component: "b", Metric: "outside", T: 99999, V: 3},
+	}, 0)
+	ds, err := DatasetFromDB(db, "x", 500, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Get("a", "inside") == nil {
+		t.Error("in-window series lost")
+	}
+	if ds.Get("b", "outside") != nil {
+		t.Error("out-of-window series must be skipped")
+	}
+	if _, err := DatasetFromDB(db, "x", 500, 1000, 1000); err == nil {
+		t.Error("expected error for empty window")
+	}
+}

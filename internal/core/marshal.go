@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// artifactJSON is the serialized form of an Artifact. Time series are
+// stored as raw value arrays with grid parameters; the call graph as an
+// edge list. The format is versioned so persisted artifacts from older
+// releases fail loudly instead of decoding garbage.
+type artifactJSON struct {
+	Version   int                  `json:"version"`
+	App       string               `json:"app"`
+	StepMS    int64                `json:"step_ms"`
+	Start     int64                `json:"start"`
+	End       int64                `json:"end"`
+	Series    []seriesJSON         `json:"series"`
+	CallGraph []callEdgeJSON       `json:"call_graph"`
+	Reduction []reductionJSON      `json:"reduction"`
+	Edges     []DependencyEdge     `json:"dependency_edges"`
+	GraphMeta dependencyGraphStats `json:"dependency_graph_stats"`
+}
+
+type seriesJSON struct {
+	Component string    `json:"component"`
+	Metric    string    `json:"metric"`
+	Start     int64     `json:"start"`
+	StepMS    int64     `json:"step_ms"`
+	Values    []float64 `json:"values"`
+}
+
+type callEdgeJSON struct {
+	Caller string `json:"caller"`
+	Callee string `json:"callee"`
+	Calls  int    `json:"calls"`
+}
+
+type reductionJSON struct {
+	Component  string    `json:"component"`
+	Total      int       `json:"total"`
+	Filtered   []string  `json:"filtered,omitempty"`
+	K          int       `json:"k"`
+	Silhouette float64   `json:"silhouette"`
+	Clusters   []Cluster `json:"clusters"`
+}
+
+type dependencyGraphStats struct {
+	Bidirectional int `json:"bidirectional"`
+	Tested        int `json:"tested"`
+}
+
+// artifactFormatVersion guards persisted artifacts against format drift.
+const artifactFormatVersion = 1
+
+// MarshalArtifact serializes an artifact to JSON. NaN values cannot occur
+// in pipeline outputs (the reducer rejects NaN series), so the standard
+// JSON encoder suffices.
+func MarshalArtifact(a *Artifact) ([]byte, error) {
+	if a == nil || a.Dataset == nil {
+		return nil, errors.New("core: nil artifact or dataset")
+	}
+	out := artifactJSON{
+		Version: artifactFormatVersion,
+		App:     a.App,
+		StepMS:  a.Dataset.StepMS,
+		Start:   a.Dataset.Start,
+		End:     a.Dataset.End,
+	}
+	for _, comp := range a.Dataset.Components() {
+		for _, metric := range a.Dataset.MetricNames(comp) {
+			s := a.Dataset.Series[comp][metric]
+			out.Series = append(out.Series, seriesJSON{
+				Component: comp,
+				Metric:    metric,
+				Start:     s.Start,
+				StepMS:    s.StepMS,
+				Values:    s.Values,
+			})
+		}
+	}
+	if a.Dataset.CallGraph != nil {
+		for _, e := range a.Dataset.CallGraph.Edges() {
+			out.CallGraph = append(out.CallGraph, callEdgeJSON{Caller: e.Caller, Callee: e.Callee, Calls: e.Calls})
+		}
+	}
+	for _, comp := range a.Dataset.Components() {
+		cr := a.Reduction[comp]
+		if cr == nil {
+			continue
+		}
+		out.Reduction = append(out.Reduction, reductionJSON{
+			Component:  cr.Component,
+			Total:      cr.Total,
+			Filtered:   cr.Filtered,
+			K:          cr.K,
+			Silhouette: cr.Silhouette,
+			Clusters:   cr.Clusters,
+		})
+	}
+	if a.Graph != nil {
+		out.Edges = a.Graph.Edges
+		out.GraphMeta = dependencyGraphStats{Bidirectional: a.Graph.Bidirectional, Tested: a.Graph.Tested}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// UnmarshalArtifact reconstructs an artifact serialized by
+// MarshalArtifact.
+func UnmarshalArtifact(data []byte) (*Artifact, error) {
+	var in artifactJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: decoding artifact: %w", err)
+	}
+	if in.Version != artifactFormatVersion {
+		return nil, fmt.Errorf("core: artifact format version %d, want %d", in.Version, artifactFormatVersion)
+	}
+
+	ds := &Dataset{
+		App:    in.App,
+		StepMS: in.StepMS,
+		Start:  in.Start,
+		End:    in.End,
+		Series: map[string]map[string]*timeseries.Regular{},
+	}
+	for _, s := range in.Series {
+		if s.Component == "" || s.Metric == "" {
+			return nil, fmt.Errorf("core: series with empty identity %+v", s)
+		}
+		if ds.Series[s.Component] == nil {
+			ds.Series[s.Component] = map[string]*timeseries.Regular{}
+		}
+		ds.Series[s.Component][s.Metric] = &timeseries.Regular{
+			Name:   s.Metric,
+			Start:  s.Start,
+			StepMS: s.StepMS,
+			Values: s.Values,
+		}
+	}
+	ds.CallGraph = callgraph.New()
+	for _, e := range in.CallGraph {
+		ds.CallGraph.AddCall(e.Caller, e.Callee, e.Calls)
+	}
+
+	red := Reduction{}
+	for _, r := range in.Reduction {
+		cr := &ComponentReduction{
+			Component:   r.Component,
+			Total:       r.Total,
+			Filtered:    r.Filtered,
+			K:           r.K,
+			Silhouette:  r.Silhouette,
+			Clusters:    r.Clusters,
+			Assignments: map[string]int{},
+		}
+		for _, c := range r.Clusters {
+			for _, m := range c.Metrics {
+				cr.Assignments[m] = c.ID
+			}
+		}
+		red[r.Component] = cr
+	}
+
+	return &Artifact{
+		App:       in.App,
+		Dataset:   ds,
+		Reduction: red,
+		Graph: &DependencyGraph{
+			Edges:         in.Edges,
+			Bidirectional: in.GraphMeta.Bidirectional,
+			Tested:        in.GraphMeta.Tested,
+		},
+	}, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+)
+
+func TestArtifactMarshalRoundTrip(t *testing.T) {
+	a, err := app.New(chainSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, _, err := Run(a, loadgen.Random(5, 150, 100, 1500), PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := MarshalArtifact(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.App != art.App {
+		t.Errorf("app = %q, want %q", got.App, art.App)
+	}
+	if got.Dataset.TotalMetrics() != art.Dataset.TotalMetrics() {
+		t.Errorf("series count = %d, want %d", got.Dataset.TotalMetrics(), art.Dataset.TotalMetrics())
+	}
+	// Series values survive exactly.
+	for _, comp := range art.Dataset.Components() {
+		for _, metric := range art.Dataset.MetricNames(comp) {
+			orig := art.Dataset.Get(comp, metric)
+			back := got.Dataset.Get(comp, metric)
+			if back == nil {
+				t.Fatalf("series %s/%s lost", comp, metric)
+			}
+			if back.Start != orig.Start || back.StepMS != orig.StepMS || len(back.Values) != len(orig.Values) {
+				t.Fatalf("series %s/%s shape changed", comp, metric)
+			}
+			for i := range orig.Values {
+				if back.Values[i] != orig.Values[i] {
+					t.Fatalf("series %s/%s value %d changed", comp, metric, i)
+				}
+			}
+		}
+	}
+	// Call graph edges survive.
+	for _, e := range art.Dataset.CallGraph.Edges() {
+		if got.Dataset.CallGraph.Calls(e.Caller, e.Callee) != e.Calls {
+			t.Errorf("call edge %s->%s lost", e.Caller, e.Callee)
+		}
+	}
+	// Reduction: assignments are rebuilt from clusters.
+	for comp, cr := range art.Reduction {
+		back := got.Reduction[comp]
+		if back == nil {
+			t.Fatalf("reduction for %s lost", comp)
+		}
+		if back.K != cr.K || back.Total != cr.Total || len(back.Clusters) != len(cr.Clusters) {
+			t.Errorf("%s reduction changed: %+v vs %+v", comp, back, cr)
+		}
+		for m, id := range cr.Assignments {
+			if back.Assignments[m] != id {
+				t.Errorf("%s assignment for %s changed", comp, m)
+			}
+		}
+	}
+	// Dependency graph survives with metadata.
+	if len(got.Graph.Edges) != len(art.Graph.Edges) {
+		t.Errorf("edges = %d, want %d", len(got.Graph.Edges), len(art.Graph.Edges))
+	}
+	if got.Graph.Tested != art.Graph.Tested || got.Graph.Bidirectional != art.Graph.Bidirectional {
+		t.Error("graph stats lost")
+	}
+	// The restored artifact is usable downstream: MostFrequentMetric
+	// agrees.
+	wantKey, wantN := art.Graph.MostFrequentMetric()
+	gotKey, gotN := got.Graph.MostFrequentMetric()
+	if wantKey != gotKey || wantN != gotN {
+		t.Errorf("most frequent metric = %s(%d), want %s(%d)", gotKey, gotN, wantKey, wantN)
+	}
+}
+
+func TestUnmarshalArtifactRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalArtifact([]byte("not json")); err == nil {
+		t.Error("expected error for malformed JSON")
+	}
+	// Wrong version.
+	bad, _ := json.Marshal(map[string]any{"version": 99})
+	if _, err := UnmarshalArtifact(bad); err == nil {
+		t.Error("expected error for unknown format version")
+	}
+	// Series with empty identity.
+	bad, _ = json.Marshal(map[string]any{
+		"version": 1,
+		"series":  []map[string]any{{"component": "", "metric": "m"}},
+	})
+	if _, err := UnmarshalArtifact(bad); err == nil {
+		t.Error("expected error for empty component")
+	}
+}
+
+func TestMarshalArtifactNil(t *testing.T) {
+	if _, err := MarshalArtifact(nil); err == nil {
+		t.Error("expected error for nil artifact")
+	}
+	if _, err := MarshalArtifact(&Artifact{}); err == nil {
+		t.Error("expected error for artifact without dataset")
+	}
+}

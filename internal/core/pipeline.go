@@ -1,0 +1,53 @@
+package core
+
+import (
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+)
+
+// Artifact is the end product of a full pipeline run on one application
+// version: everything downstream engines (autoscaling, RCA) consume.
+type Artifact struct {
+	// App names the application.
+	App string
+	// Dataset is the step-1 capture.
+	Dataset *Dataset
+	// Reduction is the step-2 output.
+	Reduction Reduction
+	// Graph is the step-3 dependency graph.
+	Graph *DependencyGraph
+}
+
+// PipelineOptions bundles the per-step options.
+type PipelineOptions struct {
+	// Capture configures step 1.
+	Capture CaptureOptions
+	// Reduce configures step 2.
+	Reduce ReduceOptions
+	// Deps configures step 3.
+	Deps DepOptions
+}
+
+// Run executes the full three-step pipeline against an application under
+// the given load pattern and returns the artifact plus the capture
+// handles (for resource accounting).
+func Run(a *app.App, pattern loadgen.Pattern, opts PipelineOptions) (*Artifact, *CaptureResult, error) {
+	cap, err := Capture(a, pattern, opts.Capture)
+	if err != nil {
+		return nil, nil, err
+	}
+	red, err := Reduce(cap.Dataset, opts.Reduce)
+	if err != nil {
+		return nil, nil, err
+	}
+	graph, err := IdentifyDependencies(cap.Dataset, red, opts.Deps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Artifact{
+		App:       a.Name(),
+		Dataset:   cap.Dataset,
+		Reduction: red,
+		Graph:     graph,
+	}, cap, nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sieve-microservices/sieve/internal/kshape"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// ReduceOptions tunes Sieve's step 2.
+type ReduceOptions struct {
+	// KMin and KMax bound the silhouette sweep over cluster counts;
+	// defaults 2 and 7 (the paper found 7 sufficient for components with
+	// up to 300 metrics).
+	KMin, KMax int
+	// VarianceThreshold drops unvarying metrics; 0 means the paper's
+	// 0.002.
+	VarianceThreshold float64
+	// Seed drives the deterministic clustering restarts.
+	Seed int64
+	// NameSeeding uses metric-name similarity for initial assignments
+	// (the paper's convergence optimization). Defaults to true via
+	// DefaultReduceOptions.
+	NameSeeding bool
+}
+
+// DefaultReduceOptions returns the paper's parameters.
+func DefaultReduceOptions() ReduceOptions {
+	return ReduceOptions{
+		KMin:              2,
+		KMax:              7,
+		VarianceThreshold: timeseries.LowVarianceThreshold,
+		NameSeeding:       true,
+	}
+}
+
+func (o ReduceOptions) withDefaults() ReduceOptions {
+	if o.KMin <= 0 {
+		o.KMin = 2
+	}
+	if o.KMax < o.KMin {
+		o.KMax = 7
+	}
+	if o.VarianceThreshold <= 0 {
+		o.VarianceThreshold = timeseries.LowVarianceThreshold
+	}
+	return o
+}
+
+// Cluster describes one metric cluster of a component.
+type Cluster struct {
+	// ID is the cluster index within the component.
+	ID int
+	// Metrics are the member metric names, sorted.
+	Metrics []string
+	// Representative is the member closest (SBD) to the centroid; it is
+	// the metric Sieve keeps monitoring for this cluster.
+	Representative string
+}
+
+// ComponentReduction is the outcome of step 2 for one component.
+type ComponentReduction struct {
+	// Component names the microservice.
+	Component string
+	// Total is the number of captured metrics before any filtering.
+	Total int
+	// Filtered lists metrics dropped by the variance filter, sorted.
+	Filtered []string
+	// Clusters are the k-Shape clusters over the surviving metrics.
+	Clusters []Cluster
+	// K is the chosen cluster count, Silhouette its quality score.
+	K int
+	// Silhouette is the clustering quality in [-1, 1].
+	Silhouette float64
+	// Assignments maps surviving metric names to cluster IDs.
+	Assignments map[string]int
+}
+
+// Representatives returns the representative metric names, sorted.
+func (r *ComponentReduction) Representatives() []string {
+	out := make([]string, 0, len(r.Clusters))
+	for _, c := range r.Clusters {
+		out = append(out, c.Representative)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reduction is the step-2 result for the whole application.
+type Reduction map[string]*ComponentReduction
+
+// TotalBefore sums captured metrics across components.
+func (r Reduction) TotalBefore() int {
+	n := 0
+	for _, cr := range r {
+		n += cr.Total
+	}
+	return n
+}
+
+// TotalAfter sums representative metrics across components.
+func (r Reduction) TotalAfter() int {
+	n := 0
+	for _, cr := range r {
+		n += len(cr.Clusters)
+	}
+	return n
+}
+
+// AllowlistKeys returns the representative series as "component/metric"
+// keys for the collector allowlist, sorted.
+func (r Reduction) AllowlistKeys() []string {
+	var out []string
+	for comp, cr := range r {
+		for _, c := range cr.Clusters {
+			out = append(out, comp+"/"+c.Representative)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reduce performs Sieve's step 2 on every component: drop unvarying
+// metrics (var <= threshold), cluster the rest with k-Shape choosing k by
+// silhouette, and pick each cluster's representative (smallest SBD to the
+// centroid).
+func Reduce(ds *Dataset, opts ReduceOptions) (Reduction, error) {
+	opts = opts.withDefaults()
+	out := Reduction{}
+	for _, component := range ds.Components() {
+		cr, err := reduceComponent(ds, component, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: reducing %s: %w", component, err)
+		}
+		out[component] = cr
+	}
+	return out, nil
+}
+
+func reduceComponent(ds *Dataset, component string, opts ReduceOptions) (*ComponentReduction, error) {
+	seriesByName := ds.Series[component]
+	cr := &ComponentReduction{
+		Component:   component,
+		Total:       len(seriesByName),
+		Assignments: map[string]int{},
+	}
+
+	// Variance filter (§3.2): unvarying metrics carry no load signal.
+	names := make([]string, 0, len(seriesByName))
+	for name := range seriesByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var kept []string
+	var series [][]float64
+	for _, name := range names {
+		vals := seriesByName[name].Values
+		if timeseries.Variance(vals) <= opts.VarianceThreshold || timeseries.HasNaN(vals) {
+			cr.Filtered = append(cr.Filtered, name)
+			continue
+		}
+		kept = append(kept, name)
+		series = append(series, vals)
+	}
+
+	switch len(kept) {
+	case 0:
+		return cr, nil
+	case 1:
+		cr.K = 1
+		cr.Clusters = []Cluster{{ID: 0, Metrics: kept, Representative: kept[0]}}
+		cr.Assignments[kept[0]] = 0
+		return cr, nil
+	}
+
+	var seedNames []string
+	if opts.NameSeeding {
+		seedNames = kept
+	}
+	sweep, err := kshape.ChooseK(series, seedNames, opts.KMin, opts.KMax, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cr.K = sweep.K
+	cr.Silhouette = sweep.Silhouette
+
+	for c := 0; c < sweep.K; c++ {
+		members := sweep.Members(c)
+		if len(members) == 0 {
+			continue
+		}
+		cluster := Cluster{ID: len(cr.Clusters)}
+		bestDist, bestName := 3.0, ""
+		for _, idx := range members {
+			name := kept[idx]
+			cluster.Metrics = append(cluster.Metrics, name)
+			d, _ := kshape.SBD(sweep.Centroids[c], timeseries.ZNormalize(series[idx]))
+			if d < bestDist {
+				bestDist, bestName = d, name
+			}
+		}
+		sort.Strings(cluster.Metrics)
+		cluster.Representative = bestName
+		for _, name := range cluster.Metrics {
+			cr.Assignments[name] = cluster.ID
+		}
+		cr.Clusters = append(cr.Clusters, cluster)
+	}
+	return cr, nil
+}

@@ -1,0 +1,273 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) against the simulated substrate. Each experiment
+// returns a Result with a paper-style text table plus the key measured
+// values; cmd/experiments prints them and the root benchmarks record
+// them. A Suite caches the expensive pipeline runs (the OpenStack
+// correct/faulty pair feeds Table 5, Figure 7 and Figure 8; the
+// ShareLatex runs feed Figures 3, 4, 6 and Table 3), so regenerating the
+// whole evaluation costs five ShareLatex pipelines, two OpenStack
+// pipelines, two autoscaling replays, and one HTTP overhead measurement.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/app/openstack"
+	"github.com/sieve-microservices/sieve/internal/app/sharelatex"
+	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+	"github.com/sieve-microservices/sieve/internal/rca"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the artifact identifier ("table1" ... "figure8").
+	ID string
+	// Title is the paper artifact's caption.
+	Title string
+	// Text is the formatted, paper-style table or series listing.
+	Text string
+	// Values holds the headline measured numbers keyed by name, for
+	// EXPERIMENTS.md and benchmark metrics.
+	Values map[string]float64
+}
+
+// Config sizes the experiment runs. The defaults reproduce the paper's
+// shapes at laptop scale; Quick shrinks everything for smoke tests.
+type Config struct {
+	// ShareLatexTicks is the capture length for ShareLatex pipelines
+	// (500 ms ticks; default 480 = 4 simulated minutes).
+	ShareLatexTicks int
+	// ShareLatexRuns is the number of randomized-load repetitions for
+	// the robustness experiments (default 5, as in the paper).
+	ShareLatexRuns int
+	// OpenStackTicks is the capture length for the RCA pipelines
+	// (default 480).
+	OpenStackTicks int
+	// AutoscaleTicks is the autoscaling replay length (default 7200 =
+	// one simulated hour, the paper's trace length).
+	AutoscaleTicks int
+	// HTTPRequests is the request count for the tracing-overhead
+	// experiment (default 10000, as in the paper).
+	HTTPRequests int
+	// Seed drives all simulations.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		ShareLatexTicks: 480,
+		ShareLatexRuns:  5,
+		OpenStackTicks:  480,
+		AutoscaleTicks:  7200,
+		HTTPRequests:    10000,
+		Seed:            42,
+	}
+}
+
+// QuickConfig returns a configuration small enough for CI smoke tests.
+func QuickConfig() Config {
+	return Config{
+		ShareLatexTicks: 200,
+		ShareLatexRuns:  3,
+		OpenStackTicks:  200,
+		AutoscaleTicks:  1200,
+		HTTPRequests:    2000,
+		Seed:            42,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ShareLatexTicks <= 0 {
+		c.ShareLatexTicks = d.ShareLatexTicks
+	}
+	if c.ShareLatexRuns <= 0 {
+		c.ShareLatexRuns = d.ShareLatexRuns
+	}
+	if c.OpenStackTicks <= 0 {
+		c.OpenStackTicks = d.OpenStackTicks
+	}
+	if c.AutoscaleTicks <= 0 {
+		c.AutoscaleTicks = d.AutoscaleTicks
+	}
+	if c.HTTPRequests <= 0 {
+		c.HTTPRequests = d.HTTPRequests
+	}
+	return c
+}
+
+// shareLatexRun is one cached randomized-load pipeline run.
+type shareLatexRun struct {
+	artifact *core.Artifact
+	capture  *core.CaptureResult
+}
+
+// Suite runs and caches the experiments.
+type Suite struct {
+	cfg Config
+
+	slOnce sync.Once
+	slRuns []shareLatexRun
+	slErr  error
+
+	osOnce    sync.Once
+	osCorrect *core.Artifact
+	osFaulty  *core.Artifact
+	osErr     error
+}
+
+// NewSuite creates a suite with the given configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{cfg: cfg.withDefaults()}
+}
+
+// shareLatexPipelines returns the cached randomized ShareLatex runs.
+func (s *Suite) shareLatexPipelines() ([]shareLatexRun, error) {
+	s.slOnce.Do(func() {
+		for i := 0; i < s.cfg.ShareLatexRuns; i++ {
+			a, err := sharelatex.New(s.cfg.Seed + int64(i))
+			if err != nil {
+				s.slErr = err
+				return
+			}
+			pattern := loadgen.Random(s.cfg.Seed+int64(100+i), s.cfg.ShareLatexTicks, 200, 2500)
+			art, cap, err := core.Run(a, pattern, core.PipelineOptions{
+				Reduce: core.DefaultReduceOptions(),
+			})
+			if err != nil {
+				s.slErr = fmt.Errorf("sharelatex run %d: %w", i, err)
+				return
+			}
+			s.slRuns = append(s.slRuns, shareLatexRun{artifact: art, capture: cap})
+		}
+	})
+	return s.slRuns, s.slErr
+}
+
+// openStackArtifacts returns the cached correct/faulty pipeline pair.
+func (s *Suite) openStackArtifacts() (correct, faulty *core.Artifact, err error) {
+	s.osOnce.Do(func() {
+		pattern := loadgen.Random(s.cfg.Seed+500, s.cfg.OpenStackTicks, 150, 1500)
+		for _, fault := range []bool{false, true} {
+			a, err := openstack.New(s.cfg.Seed, fault)
+			if err != nil {
+				s.osErr = err
+				return
+			}
+			art, _, err := core.Run(a, pattern, core.PipelineOptions{
+				Reduce: core.DefaultReduceOptions(),
+				// A 1 s delay bound gives two candidate lags on the 500 ms
+				// grid, so inter-version lag changes are observable
+				// (Fig. 7's lag-change events).
+				Deps: core.DepOptions{DelayMS: 1000},
+			})
+			if err != nil {
+				s.osErr = fmt.Errorf("openstack faulty=%v: %w", fault, err)
+				return
+			}
+			if fault {
+				s.osFaulty = art
+			} else {
+				s.osCorrect = art
+			}
+		}
+	})
+	return s.osCorrect, s.osFaulty, s.osErr
+}
+
+// diagnose runs the RCA engine at the given similarity threshold.
+func (s *Suite) diagnose(threshold float64) (*rca.Report, error) {
+	correct, faulty, err := s.openStackArtifacts()
+	if err != nil {
+		return nil, err
+	}
+	return rca.Diagnose(correct, faulty, rca.Options{SimilarityThreshold: threshold})
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() ([]*Result, error) {
+	type step struct {
+		name string
+		run  func() (*Result, error)
+	}
+	steps := []step{
+		{"table1", s.Table1},
+		{"figure3", s.Figure3},
+		{"figure4", s.Figure4},
+		{"figure5", s.Figure5},
+		{"table3", s.Table3},
+		{"figure6", s.Figure6},
+		{"table4", s.Table4},
+		{"table5", s.Table5},
+		{"figure7", s.Figure7},
+		{"figure8", s.Figure8},
+	}
+	out := make([]*Result, 0, len(steps))
+	for _, st := range steps {
+		r, err := st.run()
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", st.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by identifier.
+func (s *Suite) ByID(id string) (*Result, error) {
+	switch strings.ToLower(id) {
+	case "table1":
+		return s.Table1()
+	case "figure3":
+		return s.Figure3()
+	case "figure4":
+		return s.Figure4()
+	case "figure5":
+		return s.Figure5()
+	case "table3":
+		return s.Table3()
+	case "figure6":
+		return s.Figure6()
+	case "table4":
+		return s.Table4()
+	case "table5":
+		return s.Table5()
+	case "figure7":
+		return s.Figure7()
+	case "figure8":
+		return s.Figure8()
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (table1, table3-5, figure3-8)", id)
+	}
+}
+
+// IDs lists the available experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "figure3", "figure4", "figure5", "table3",
+		"figure6", "table4", "table5", "figure7", "figure8",
+	}
+}
+
+// warmApp steps an application briefly so lazily-created metrics exist.
+func warmApp(a *app.App, ticks int, rps float64) {
+	for i := 0; i < ticks; i++ {
+		a.Step(rps)
+	}
+}
+
+// sortedKeys returns map keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeConfig is even smaller than QuickConfig: just enough load for the
+// pipelines to find structure.
+func smokeConfig() Config {
+	return Config{
+		ShareLatexTicks: 150,
+		ShareLatexRuns:  3,
+		OpenStackTicks:  150,
+		AutoscaleTicks:  600,
+		HTTPRequests:    500,
+		Seed:            42,
+	}
+}
+
+// TestAllExperimentsSmoke regenerates every artifact end to end on the
+// smallest viable configuration and sanity-checks the headline values.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite (slow)")
+	}
+	suite := NewSuite(smokeConfig())
+	results, err := suite.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("got %d results, want %d", len(results), len(IDs()))
+	}
+
+	byID := map[string]*Result{}
+	for _, r := range results {
+		if r.Text == "" || r.Title == "" {
+			t.Errorf("%s: empty output", r.ID)
+		}
+		byID[r.ID] = r
+	}
+
+	// Table 1: metric populations near the paper's.
+	if v := byID["table1"].Values["sharelatex_metrics"]; v < 800 || v > 980 {
+		t.Errorf("table1 sharelatex metrics = %g, want ~889", v)
+	}
+	if v := byID["table1"].Values["openstack_metrics"]; v != 508 {
+		t.Errorf("table1 openstack metrics = %g, want 508", v)
+	}
+
+	// Figure 3: consistent clustering (clearly above random).
+	if v := byID["figure3"].Values["average_ami"]; v < 0.3 {
+		t.Errorf("figure3 average AMI = %g, want clearly above random", v)
+	}
+
+	// Figure 4: an order-of-magnitude style reduction.
+	if v := byID["figure4"].Values["reduction_factor"]; v < 4 {
+		t.Errorf("figure4 reduction factor = %g, want >= 4", v)
+	}
+
+	// Figure 5: wall-clock overheads are machine-load dependent at smoke
+	// size, so only sanity-check them (the paper-scale run in
+	// EXPERIMENTS.md carries the real numbers).
+	if v := byID["figure5"].Values["native_seconds"]; v <= 0 {
+		t.Errorf("figure5 native time = %g, want positive", v)
+	}
+	if v := byID["figure5"].Values["sysdig_overhead_pct"]; v < -30 || v > 500 {
+		t.Errorf("figure5 sysdig overhead = %g%%, implausible", v)
+	}
+
+	// Table 3: every resource dimension must shrink substantially.
+	for _, k := range []string{"cpu_reduction_pct", "db_reduction_pct", "net_in_reduction_pct", "net_out_reduction_pct"} {
+		if v := byID["table3"].Values[k]; v < 25 {
+			t.Errorf("table3 %s = %g%%, want substantial reduction", k, v)
+		}
+	}
+
+	// Figure 6: a non-trivial dependency graph with a hub metric.
+	if v := byID["figure6"].Values["edges"]; v < 5 {
+		t.Errorf("figure6 edges = %g, want a connected graph", v)
+	}
+
+	// Table 4: both replays completed with sane outputs.
+	if v := byID["table4"].Values["sieve_rule_violations"]; v < 0 {
+		t.Errorf("table4 sieve violations = %g", v)
+	}
+
+	// Table 5: the Table 5 metric populations reproduce exactly.
+	if v := byID["table5"].Values["total_metrics"]; v != 508 {
+		t.Errorf("table5 total = %g, want 508", v)
+	}
+	if v := byID["table5"].Values["total_new"]; v != 22 {
+		t.Errorf("table5 new = %g, want 22", v)
+	}
+	if v := byID["table5"].Values["nova_api_novelty_pos"]; v != 1 {
+		t.Errorf("table5 nova-api position = %g, want 1", v)
+	}
+	if v := byID["table5"].Values["neutron_final_rank"]; v < 1 || v > 5 {
+		t.Errorf("table5 neutron-server final rank = %g, want top-5", v)
+	}
+
+	// Figure 7: novel metrics concentrate in a minority of clusters, and
+	// the threshold sweep shrinks the inspection surface monotonically.
+	f7 := byID["figure7"].Values
+	if f7["clusters_novel"] <= 0 || f7["clusters_novel"] >= f7["clusters_total"] {
+		t.Errorf("figure7 novel clusters = %g of %g", f7["clusters_novel"], f7["clusters_total"])
+	}
+	if f7["metrics_t00"] < f7["metrics_t70"] {
+		t.Errorf("figure7 sweep not shrinking: %g at t=0 vs %g at t=0.7", f7["metrics_t00"], f7["metrics_t70"])
+	}
+
+	// Figure 8: the headline root-cause metrics surface among suspects.
+	if v := byID["figure8"].Values["headline_metric_suspects"]; v < 1 {
+		t.Errorf("figure8 headline suspects = %g, want >= 1", v)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	suite := NewSuite(smokeConfig())
+	if _, err := suite.ByID("table9"); err == nil {
+		t.Error("expected error for unknown id")
+	}
+	if !strings.Contains(strings.Join(IDs(), ","), "figure6") {
+		t.Error("IDs missing figure6")
+	}
+}

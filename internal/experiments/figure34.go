@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sieve-microservices/sieve/internal/kshape"
+)
+
+// Figure3 regenerates Fig. 3: pairwise Adjusted Mutual Information
+// between the cluster assignments of independent randomized-load runs,
+// per ShareLatex component. The paper reports an average AMI of 0.597
+// over its worst-case randomized workloads and concludes the clustering
+// is consistent.
+func (s *Suite) Figure3() (*Result, error) {
+	runs, err := s.shareLatexPipelines()
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) < 3 {
+		return nil, fmt.Errorf("experiments: figure3 needs >= 3 runs, have %d", len(runs))
+	}
+
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	perComponent := map[string][]float64{}
+	var sum float64
+	var count int
+
+	components := sortedKeys(runs[0].artifact.Reduction)
+	for _, comp := range components {
+		for _, p := range pairs {
+			a := runs[p[0]].artifact.Reduction[comp]
+			b := runs[p[1]].artifact.Reduction[comp]
+			if a == nil || b == nil {
+				continue
+			}
+			// AMI over the metrics clustered in both runs (the variance
+			// filter can differ slightly between workloads).
+			var la, lb []int
+			for metric, ca := range a.Assignments {
+				cb, ok := b.Assignments[metric]
+				if !ok {
+					continue
+				}
+				la = append(la, ca)
+				lb = append(lb, cb)
+			}
+			if len(la) < 2 {
+				continue
+			}
+			ami, err := kshape.AMI(la, lb)
+			if err != nil {
+				return nil, err
+			}
+			perComponent[comp] = append(perComponent[comp], ami)
+			sum += ami
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("experiments: figure3 computed no AMI scores")
+	}
+	avg := sum / float64(count)
+
+	var b strings.Builder
+	b.WriteString("Figure 3: pairwise AMI of cluster assignments across randomized runs\n")
+	b.WriteString("Component        AMI(1,2)  AMI(1,3)  AMI(2,3)\n")
+	for _, comp := range components {
+		scores := perComponent[comp]
+		if len(scores) != 3 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %8.3f  %8.3f  %8.3f\n", comp, scores[0], scores[1], scores[2])
+	}
+	fmt.Fprintf(&b, "Average AMI: %.3f (paper: 0.597; random assignments score ~0)\n", avg)
+
+	return &Result{
+		ID:    "figure3",
+		Title: "Clustering consistency across randomized workloads (AMI)",
+		Text:  b.String(),
+		Values: map[string]float64{
+			"average_ami": avg,
+		},
+	}, nil
+}
+
+// Figure4 regenerates Fig. 4: the number of metrics per ShareLatex
+// component before and after Sieve's reduction, averaged over the
+// randomized runs. The paper reduces 889 metrics to 65 on average.
+func (s *Suite) Figure4() (*Result, error) {
+	runs, err := s.shareLatexPipelines()
+	if err != nil {
+		return nil, err
+	}
+
+	before := map[string]float64{}
+	after := map[string]float64{}
+	for _, run := range runs {
+		for comp, cr := range run.artifact.Reduction {
+			before[comp] += float64(cr.Total)
+			after[comp] += float64(len(cr.Clusters))
+		}
+	}
+	n := float64(len(runs))
+	var totalBefore, totalAfter float64
+	var b strings.Builder
+	b.WriteString("Figure 4: average number of metrics before/after Sieve's reduction\n")
+	b.WriteString("Component        Before   After   Reduction\n")
+	for _, comp := range sortedKeys(before) {
+		bf, af := before[comp]/n, after[comp]/n
+		totalBefore += bf
+		totalAfter += af
+		fmt.Fprintf(&b, "%-16s %6.1f  %6.1f   %5.1fx\n", comp, bf, af, safeRatio(bf, af))
+	}
+	fmt.Fprintf(&b, "%-16s %6.1f  %6.1f   %5.1fx\n", "TOTAL", totalBefore, totalAfter, safeRatio(totalBefore, totalAfter))
+	fmt.Fprintf(&b, "(paper: 889 -> 65, 13.7x, averaged over five runs)\n")
+
+	return &Result{
+		ID:    "figure4",
+		Title: "Metric reduction per component",
+		Text:  b.String(),
+		Values: map[string]float64{
+			"total_before":     totalBefore,
+			"total_after":      totalAfter,
+			"reduction_factor": safeRatio(totalBefore, totalAfter),
+		},
+	}, nil
+}
+
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,271 @@
+// Package granger implements the Granger-causality machinery Sieve uses
+// to infer metric dependencies between communicating components (§3.3).
+// A metric X "Granger-causes" Y when the history of X improves the
+// prediction of Y beyond what Y's own history achieves; the comparison is
+// a nested-model F-test between
+//
+//	restricted:    y_t = a0 + Σ_{i=1..L} a_i·y_{t-i}
+//	unrestricted:  y_t = a0 + Σ_{i=1..L} a_i·y_{t-i} + Σ_{i=1..L} b_i·x_{t-i}
+//
+// Non-stationary inputs (detected with the Augmented Dickey-Fuller test)
+// are first-differenced, since the F-test finds spurious regressions on
+// unit-root series (Granger & Newbold 1974). Bidirectional results are
+// treated as spurious (a hidden confounder) and filtered by the caller
+// via Direction.
+package granger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sieve-microservices/sieve/internal/stats"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// DefaultAlpha is the significance level for rejecting the null
+// hypothesis "X does not Granger-cause Y".
+const DefaultAlpha = 0.05
+
+// ErrSeriesTooShort is returned when the series cannot support the
+// requested lag order.
+var ErrSeriesTooShort = errors.New("granger: series too short for requested lag")
+
+// DefaultOwnLags is the default autoregressive order of the restricted
+// model. Using more own-history lags than cross lags hardens the test
+// against false reverse causality: when the underlying load has
+// second-order dynamics (ramps), a single own lag cannot capture them and
+// the reverse direction spuriously "helps" by echoing the driver's past.
+const DefaultOwnLags = 3
+
+// Options configures a causality test.
+type Options struct {
+	// MaxLag is the largest cross lag order (in samples) to test; each
+	// lag in 1..MaxLag is tried and the most predictive one is kept. With
+	// the paper's 500 ms grid and its conservative 500 ms delay bound
+	// this is 1, the default when 0.
+	MaxLag int
+	// OwnLags is the autoregressive order of y's own history in both
+	// models; 0 means DefaultOwnLags (the effective order is at least the
+	// cross lag under test).
+	OwnLags int
+	// Alpha is the significance level; 0 means DefaultAlpha.
+	Alpha float64
+	// ADFLags sets the augmentation lags for the stationarity check; < 0
+	// selects the Schwert default.
+	ADFLags int
+	// SkipStationarity disables the ADF pre-check (used by tests and when
+	// the caller has already differenced).
+	SkipStationarity bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLag <= 0 {
+		o.MaxLag = 1
+	}
+	if o.OwnLags <= 0 {
+		o.OwnLags = DefaultOwnLags
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = DefaultAlpha
+	}
+	return o
+}
+
+// TestResult reports one directed Granger test X -> Y.
+type TestResult struct {
+	// F and PValue come from the nested-model F-test at the chosen lag.
+	F, PValue float64
+	// Lag is the lag order (samples) that maximized significance.
+	Lag int
+	// Significant reports PValue < alpha.
+	Significant bool
+	// DifferencedX and DifferencedY report whether the stationarity
+	// pre-check first-differenced an input.
+	DifferencedX, DifferencedY bool
+}
+
+// Test reports whether x Granger-causes y. Both series must have equal
+// length; constants and too-short series yield a non-significant result
+// rather than an error when they cannot carry causal signal.
+func Test(x, y []float64, opts Options) (*TestResult, error) {
+	opts = opts.withDefaults()
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("granger: length mismatch %d vs %d", len(x), len(y))
+	}
+
+	res := &TestResult{PValue: 1, Lag: opts.MaxLag}
+
+	// A constant series can neither cause nor be caused on this sample.
+	if timeseries.IsConstant(x) || timeseries.IsConstant(y) {
+		return res, nil
+	}
+
+	if !opts.SkipStationarity {
+		x, y, res.DifferencedX, res.DifferencedY = makeStationaryPair(x, y, opts.ADFLags)
+		if timeseries.IsConstant(x) || timeseries.IsConstant(y) {
+			return res, nil
+		}
+	}
+
+	// Need n - maxL observations and 1+ownLags+crossLag unrestricted
+	// parameters with residual degrees of freedom to spare.
+	maxOwn := opts.OwnLags
+	if opts.MaxLag > maxOwn {
+		maxOwn = opts.MaxLag
+	}
+	minLen := 2*maxOwn + opts.MaxLag + 8
+	if len(y) < minLen {
+		return nil, fmt.Errorf("%w: have %d samples, need >= %d", ErrSeriesTooShort, len(y), minLen)
+	}
+
+	best := res
+	for lag := 1; lag <= opts.MaxLag; lag++ {
+		ownLags := opts.OwnLags
+		if lag > ownLags {
+			ownLags = lag
+		}
+		f, p, err := testAtLag(x, y, lag, ownLags)
+		if err != nil {
+			// Degenerate designs at this lag (e.g. near-collinear
+			// histories) are skipped, not fatal: other lags may work.
+			continue
+		}
+		if best.PValue == 1 && best.F == 0 || p < best.PValue {
+			best = &TestResult{
+				F:            f,
+				PValue:       p,
+				Lag:          lag,
+				DifferencedX: res.DifferencedX,
+				DifferencedY: res.DifferencedY,
+			}
+		}
+	}
+	best.Significant = best.PValue < opts.Alpha
+	return best, nil
+}
+
+// testAtLag runs the nested F-test with crossLag lags of x added to
+// ownLags autoregressive lags of y (ownLags >= crossLag).
+func testAtLag(x, y []float64, crossLag, ownLags int) (f, p float64, err error) {
+	n := len(y)
+	resp := y[ownLags:]
+
+	// Lag column i holds the series shifted by i samples, aligned with resp.
+	yLags := make([][]float64, ownLags)
+	for i := 1; i <= ownLags; i++ {
+		yLags[i-1] = y[ownLags-i : n-i]
+	}
+	xLags := make([][]float64, crossLag)
+	for i := 1; i <= crossLag; i++ {
+		xLags[i-1] = x[ownLags-i : n-i]
+	}
+
+	restrictedDesign, err := stats.DesignWithIntercept(yLags...)
+	if err != nil {
+		return 0, 0, err
+	}
+	restricted, err := stats.FitOLS(resp, restrictedDesign)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	unrestrictedDesign, err := stats.DesignWithIntercept(append(append([][]float64{}, yLags...), xLags...)...)
+	if err != nil {
+		return 0, 0, err
+	}
+	unrestricted, err := stats.FitOLS(resp, unrestrictedDesign)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	ft, err := stats.CompareOLS(restricted, unrestricted)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ft.F, ft.PValue, nil
+}
+
+// makeStationaryPair differences whichever series fails the ADF test and
+// trims the other so both stay aligned on the same time base (differencing
+// drops the first sample).
+func makeStationaryPair(x, y []float64, adfLags int) (outX, outY []float64, dx, dy bool) {
+	outX, dx = stats.EnsureStationary(x, adfLags)
+	outY, dy = stats.EnsureStationary(y, adfLags)
+	switch {
+	case dx && !dy:
+		outY = y[1:]
+	case dy && !dx:
+		outX = x[1:]
+	}
+	return outX, outY, dx, dy
+}
+
+// Causality classifies the relationship between two metrics.
+type Causality int
+
+// Causality values. Bidirectional relationships indicate a hidden common
+// driver (§3.3) and are filtered out of the dependency graph.
+const (
+	// None: neither direction is significant.
+	None Causality = iota + 1
+	// XCausesY: only X -> Y is significant.
+	XCausesY
+	// YCausesX: only Y -> X is significant.
+	YCausesX
+	// Bidirectional: both directions are significant (spurious).
+	Bidirectional
+)
+
+// String returns a human-readable name.
+func (c Causality) String() string {
+	switch c {
+	case None:
+		return "none"
+	case XCausesY:
+		return "x->y"
+	case YCausesX:
+		return "y->x"
+	case Bidirectional:
+		return "bidirectional"
+	default:
+		return fmt.Sprintf("Causality(%d)", int(c))
+	}
+}
+
+// Direction runs the test in both directions and classifies the result.
+// It returns the per-direction test results alongside the classification.
+func Direction(x, y []float64, opts Options) (Causality, *TestResult, *TestResult, error) {
+	xy, err := Test(x, y, opts)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("granger: x->y: %w", err)
+	}
+	yx, err := Test(y, x, opts)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("granger: y->x: %w", err)
+	}
+	switch {
+	case xy.Significant && yx.Significant:
+		return Bidirectional, xy, yx, nil
+	case xy.Significant:
+		return XCausesY, xy, yx, nil
+	case yx.Significant:
+		return YCausesX, xy, yx, nil
+	default:
+		return None, xy, yx, nil
+	}
+}
+
+// LagSamples converts a wall-clock delay bound into a lag order on a
+// sampling grid, rounding up and enforcing a minimum of one sample. Sieve
+// uses a conservative 500 ms delay with a 500 ms grid, i.e. lag 1.
+func LagSamples(delayMS, stepMS int64) int {
+	if stepMS <= 0 || delayMS <= 0 {
+		return 1
+	}
+	l := int(math.Ceil(float64(delayMS) / float64(stepMS)))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

@@ -1,0 +1,167 @@
+package kshape
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContingencyKnown(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	b := []int{1, 1, 0, 0, 0}
+	table, err := Contingency(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a-label 0 pairs with b-label 1 twice; a=1 with b=0 twice; a=2 with b=0 once.
+	if table[0][0] != 2 || table[1][1] != 2 || table[2][1] != 1 {
+		t.Errorf("table = %v", table)
+	}
+	if _, err := Contingency([]int{0}, []int{0, 1}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestEntropyKnown(t *testing.T) {
+	if got := Entropy([]int{0, 0, 1, 1}); !almostEqualF(got, math.Log(2), 1e-12) {
+		t.Errorf("Entropy = %g, want ln2", got)
+	}
+	if got := Entropy([]int{3, 3, 3}); got != 0 {
+		t.Errorf("uniform-label entropy = %g, want 0", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("empty entropy = %g, want 0", got)
+	}
+}
+
+func TestMutualInfoIdenticalEqualsEntropy(t *testing.T) {
+	a := []int{0, 1, 2, 0, 1, 2, 0, 0}
+	mi, err := MutualInfo(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqualF(mi, Entropy(a), 1e-12) {
+		t.Errorf("MI(a,a) = %g, want H(a) = %g", mi, Entropy(a))
+	}
+}
+
+func TestMutualInfoIndependent(t *testing.T) {
+	// Perfectly balanced independent labelings have zero MI.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	mi, err := MutualInfo(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > 1e-12 {
+		t.Errorf("independent MI = %g, want 0", mi)
+	}
+}
+
+func TestAMIIdenticalIsOne(t *testing.T) {
+	a := []int{0, 1, 2, 0, 1, 2, 1, 1, 0}
+	got, err := AMI(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqualF(got, 1, 1e-9) {
+		t.Errorf("AMI(a,a) = %g, want 1", got)
+	}
+}
+
+func TestAMIPermutationInvariantProperty(t *testing.T) {
+	// Relabeling clusters (0<->1 etc.) must not change AMI.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		perm := []int{2, 0, 1}
+		for i := range a {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(3)
+		}
+		relabeled := make([]int, n)
+		for i := range b {
+			relabeled[i] = perm[b[i]]
+		}
+		x, err1 := AMI(a, b)
+		y, err2 := AMI(a, relabeled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqualF(x, y, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAMISymmetryAndBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(3)
+		}
+		x, err1 := AMI(a, b)
+		y, err2 := AMI(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqualF(x, y, 1e-9) && x <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAMIRandomNearZero(t *testing.T) {
+	// Independent random labelings: AMI concentrates near 0 (that is the
+	// whole point of the adjustment); average over draws must be small.
+	rng := rand.New(rand.NewSource(77))
+	var sum float64
+	const draws = 30
+	for d := 0; d < draws; d++ {
+		n := 200
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		v, err := AMI(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if avg := sum / draws; math.Abs(avg) > 0.03 {
+		t.Errorf("mean AMI of random labelings = %g, want ~0", avg)
+	}
+}
+
+func TestAMIDegenerate(t *testing.T) {
+	// Both single-cluster: identical partitions.
+	got, err := AMI([]int{0, 0, 0}, []int{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("single-cluster AMI = %g, want 1", got)
+	}
+	if _, err := AMI(nil, nil); err == nil {
+		t.Error("expected error for empty labelings")
+	}
+	if _, err := AMI([]int{0}, []int{0, 1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func almostEqualF(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,321 @@
+package kshape
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sieve-microservices/sieve/internal/mathx"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// DefaultMaxIterations bounds the refinement/assignment loop; k-Shape
+// converges in a handful of iterations on metric workloads.
+const DefaultMaxIterations = 100
+
+// Options configures a Cluster run.
+type Options struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIterations bounds the refinement loop; 0 means
+	// DefaultMaxIterations.
+	MaxIterations int
+	// Seed drives the deterministic fallback initialization when
+	// InitialAssignments is nil.
+	Seed int64
+	// InitialAssignments optionally seeds the assignment (length must
+	// equal the number of series, values in [0,K)). Sieve seeds by metric
+	// name similarity (§3.2); this only affects convergence speed, not the
+	// fixed point.
+	InitialAssignments []int
+	// Restarts runs the algorithm this many times from different random
+	// initializations (seeds Seed, Seed+1, ...) and keeps the run with the
+	// lowest total within-cluster SBD, mitigating local optima. 0 or 1
+	// means a single run. Ignored when InitialAssignments is set.
+	Restarts int
+}
+
+// Result is the outcome of a Cluster run.
+type Result struct {
+	// K is the number of clusters requested.
+	K int
+	// Assignments maps each input series index to its cluster in [0,K).
+	Assignments []int
+	// Centroids holds one z-normalized centroid per cluster; a cluster
+	// that ended up empty has a zero centroid.
+	Centroids [][]float64
+	// Iterations is the number of refinement iterations performed.
+	Iterations int
+}
+
+// Members returns the series indices assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignments {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Cluster runs k-Shape over the given series (all must share one length
+// >= 2). Series are z-normalized internally, matching the algorithm's
+// amplitude invariance. The run is deterministic for a fixed Options.
+func Cluster(series [][]float64, opts Options) (*Result, error) {
+	if opts.Restarts > 1 && opts.InitialAssignments == nil {
+		var best *Result
+		bestCost := math.Inf(1)
+		for r := 0; r < opts.Restarts; r++ {
+			run := opts
+			run.Restarts = 0
+			run.Seed = opts.Seed + int64(r)
+			res, err := clusterOnce(series, run)
+			if err != nil {
+				return nil, err
+			}
+			if cost := res.totalWithinSBD(series); cost < bestCost {
+				bestCost, best = cost, res
+			}
+		}
+		return best, nil
+	}
+	return clusterOnce(series, opts)
+}
+
+// totalWithinSBD sums each series' distance to its assigned centroid, the
+// objective used to compare restarts.
+func (r *Result) totalWithinSBD(series [][]float64) float64 {
+	var total float64
+	for i, a := range r.Assignments {
+		d, _ := SBD(r.Centroids[a], timeseries.ZNormalize(series[i]))
+		total += d
+	}
+	return total
+}
+
+func clusterOnce(series [][]float64, opts Options) (*Result, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, errors.New("kshape: no series to cluster")
+	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("kshape: invalid K=%d", opts.K)
+	}
+	if opts.K > n {
+		return nil, fmt.Errorf("kshape: K=%d exceeds %d series", opts.K, n)
+	}
+	sLen := len(series[0])
+	if sLen < 2 {
+		return nil, fmt.Errorf("kshape: series length %d too short", sLen)
+	}
+	for i, s := range series {
+		if len(s) != sLen {
+			return nil, fmt.Errorf("kshape: series %d has length %d, want %d", i, len(s), sLen)
+		}
+		if timeseries.HasNaN(s) {
+			return nil, fmt.Errorf("kshape: series %d contains NaN", i)
+		}
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+
+	norm := make([][]float64, n)
+	profiles := make([]*sbdProfile, n)
+	for i, s := range series {
+		norm[i] = timeseries.ZNormalize(s)
+		profiles[i] = newSBDProfile(norm[i])
+	}
+
+	assign := make([]int, n)
+	switch {
+	case opts.InitialAssignments != nil:
+		if len(opts.InitialAssignments) != n {
+			return nil, fmt.Errorf("kshape: %d initial assignments for %d series", len(opts.InitialAssignments), n)
+		}
+		for i, a := range opts.InitialAssignments {
+			if a < 0 || a >= opts.K {
+				return nil, fmt.Errorf("kshape: initial assignment %d out of range [0,%d)", a, opts.K)
+			}
+			assign[i] = a
+		}
+	default:
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for i := range assign {
+			assign[i] = rng.Intn(opts.K)
+		}
+	}
+
+	centroids := make([][]float64, opts.K)
+	for c := range centroids {
+		centroids[c] = make([]float64, sLen)
+	}
+
+	iterations := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+
+		// Refinement: re-extract each cluster's centroid.
+		for c := 0; c < opts.K; c++ {
+			var members [][]float64
+			var memberProfiles []*sbdProfile
+			for i, a := range assign {
+				if a == c {
+					members = append(members, norm[i])
+					memberProfiles = append(memberProfiles, profiles[i])
+				}
+			}
+			centroids[c] = shapeExtraction(members, memberProfiles, centroids[c])
+		}
+
+		// Assignment: move every series to its closest centroid. Member
+		// FFTs are cached, so each distance costs one spectrum product.
+		centProfiles := make([]*sbdProfile, opts.K)
+		for c := range centProfiles {
+			centProfiles[c] = newSBDProfile(centroids[c])
+		}
+		changed := false
+		for i := range norm {
+			best, bestC := 2.1, assign[i] // SBD is bounded by 2
+			for c := 0; c < opts.K; c++ {
+				d := centProfiles[c].dist(profiles[i])
+				if d < best {
+					best, bestC = d, c
+				}
+			}
+			if bestC != assign[i] {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+
+		// Re-seed empty clusters deterministically with the series
+		// farthest from its own centroid, so K stays meaningful.
+		for c := 0; c < opts.K; c++ {
+			if countOf(assign, c) > 0 {
+				continue
+			}
+			worstI, worstD := -1, -1.0
+			for i, a := range assign {
+				if countOf(assign, a) <= 1 {
+					continue // do not empty another cluster
+				}
+				d := centProfiles[a].dist(profiles[i])
+				if d > worstD {
+					worstD, worstI = d, i
+				}
+			}
+			if worstI >= 0 {
+				assign[worstI] = c
+				changed = true
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	return &Result{
+		K:           opts.K,
+		Assignments: assign,
+		Centroids:   centroids,
+		Iterations:  iterations,
+	}, nil
+}
+
+// shapeExtraction computes a cluster's new centroid: members are aligned
+// to the current centroid, and the new centroid is the dominant
+// eigenvector of Q·AᵀA·Q (A = aligned member rows, Q = centering matrix),
+// which maximizes the summed squared cross-correlation to all members.
+// The result is z-normalized and sign-fixed against the reference.
+func shapeExtraction(members [][]float64, memberProfiles []*sbdProfile, reference []float64) []float64 {
+	sLen := len(reference)
+	if len(members) == 0 {
+		return make([]float64, sLen)
+	}
+	refIsZero := l2(reference) == 0
+
+	var refProfile *sbdProfile
+	if !refIsZero {
+		refProfile = newSBDProfile(reference)
+	}
+	aligned := make([][]float64, len(members))
+	for i, m := range members {
+		if refIsZero {
+			aligned[i] = m
+			continue
+		}
+		_, shift := refProfile.distShift(memberProfiles[i])
+		aligned[i] = Align(m, shift)
+	}
+
+	// Implicit operator v -> Q AᵀA Q v, where Qv = v - mean(v).
+	apply := func(dst, src []float64) {
+		centered := center(src)
+		tmp := make([]float64, len(aligned))
+		for i, row := range aligned {
+			var s float64
+			for j, v := range row {
+				s += v * centered[j]
+			}
+			tmp[i] = s
+		}
+		for j := range dst {
+			dst[j] = 0
+		}
+		for i, row := range aligned {
+			w := tmp[i]
+			if w == 0 {
+				continue
+			}
+			for j, v := range row {
+				dst[j] += w * v
+			}
+		}
+		out := center(dst)
+		copy(dst, out)
+	}
+	vec, _ := mathx.DominantEigen(sLen, apply, 100, 1e-9)
+	vec = timeseries.ZNormalize(vec)
+
+	// Eigenvectors are sign-ambiguous; pick the orientation that better
+	// correlates with the reference (or the first member for a fresh
+	// cluster).
+	base := reference
+	if refIsZero {
+		base = aligned[0]
+	}
+	var dot float64
+	for j := range vec {
+		dot += vec[j] * base[j]
+	}
+	if dot < 0 {
+		for j := range vec {
+			vec[j] = -vec[j]
+		}
+	}
+	return vec
+}
+
+func center(v []float64) []float64 {
+	out := make([]float64, len(v))
+	m := timeseries.Mean(v)
+	for i, x := range v {
+		out[i] = x - m
+	}
+	return out
+}
+
+func countOf(assign []int, c int) int {
+	n := 0
+	for _, a := range assign {
+		if a == c {
+			n++
+		}
+	}
+	return n
+}

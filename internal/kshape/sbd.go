@@ -1,0 +1,185 @@
+// Package kshape implements the k-Shape time-series clustering algorithm
+// (Paparrizos & Gravano, SIGMOD 2015) that Sieve uses to reduce each
+// component's metrics to a handful of representative ones (§3.2), together
+// with the pieces the paper layers on top: silhouette-based selection of
+// the cluster count, metric-name seeding of the initial assignment, and
+// the Adjusted Mutual Information score used to evaluate clustering
+// consistency across runs (Fig. 3).
+package kshape
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sieve-microservices/sieve/internal/mathx"
+)
+
+// NCC returns the normalized cross-correlation profile of two equal-length
+// series: entry k corresponds to shift s = k-(n-1) and holds
+// CC_s(x,y) / (||x||·||y||). When either series has zero norm the profile
+// is all zeros.
+func NCC(x, y []float64) []float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		panic(fmt.Sprintf("kshape: NCC needs equal non-empty lengths, got %d and %d", len(x), len(y)))
+	}
+	cc := mathx.CrossCorrelate(x, y)
+	nx := l2(x)
+	ny := l2(y)
+	denom := nx * ny
+	if denom == 0 {
+		for i := range cc {
+			cc[i] = 0
+		}
+		return cc
+	}
+	for i := range cc {
+		cc[i] /= denom
+	}
+	return cc
+}
+
+// SBD returns the shape-based distance between two equal-length series,
+//
+//	SBD(x,y) = 1 - max_w NCC_w(x,y),
+//
+// together with the shift at which the maximum is attained: passing it to
+// Align(y, shift) lines y up with x (a negative shift means y lags x and
+// is advanced; a positive one means y leads and is delayed). The distance lies
+// in [0, 2]. Two zero-norm (constant) series are defined to have distance
+// 0; a zero-norm series against a non-zero one has distance 1.
+func SBD(x, y []float64) (dist float64, shift int) {
+	n := len(x)
+	if n != len(y) || n == 0 {
+		panic(fmt.Sprintf("kshape: SBD needs equal non-empty lengths, got %d and %d", len(x), len(y)))
+	}
+	zx := l2(x) == 0
+	zy := l2(y) == 0
+	if zx && zy {
+		return 0, 0
+	}
+	if zx || zy {
+		return 1, 0
+	}
+	ncc := NCC(x, y)
+	best, bestIdx := math.Inf(-1), 0
+	for i, v := range ncc {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return 1 - best, bestIdx - (n - 1)
+}
+
+// Align shifts y by the given shift (as returned by SBD) so it lines up
+// with the reference series: the result r satisfies r[t] = y[t-shift],
+// zero-padded where the shift runs past the ends.
+func Align(y []float64, shift int) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		src := t - shift
+		if src >= 0 && src < n {
+			out[t] = y[src]
+		}
+	}
+	return out
+}
+
+// sbdProfile is a cached FFT of a series used to batch pairwise SBD
+// computations: the cross-correlation of any pair is one spectrum product
+// plus one inverse FFT.
+type sbdProfile struct {
+	spectrum []complex128
+	norm     float64
+	n        int
+	padded   int
+}
+
+func newSBDProfile(x []float64) *sbdProfile {
+	n := len(x)
+	m := mathx.NextPow2(2*n - 1)
+	buf := make([]complex128, m)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	mathx.FFT(buf)
+	return &sbdProfile{spectrum: buf, norm: l2(x), n: n, padded: m}
+}
+
+// dist computes SBD between the two profiled series (lengths must match).
+func (p *sbdProfile) dist(q *sbdProfile) float64 {
+	d, _ := p.distShift(q)
+	return d
+}
+
+// distShift computes SBD and the aligning shift, matching SBD(p, q): the
+// shift passed to Align(q, shift) lines q up with p.
+func (p *sbdProfile) distShift(q *sbdProfile) (float64, int) {
+	if p.n != q.n {
+		panic("kshape: profiled series length mismatch")
+	}
+	if p.norm == 0 && q.norm == 0 {
+		return 0, 0
+	}
+	if p.norm == 0 || q.norm == 0 {
+		return 1, 0
+	}
+	prod := make([]complex128, p.padded)
+	for i := range prod {
+		prod[i] = p.spectrum[i] * complex(real(q.spectrum[i]), -imag(q.spectrum[i]))
+	}
+	mathx.IFFT(prod)
+	denom := p.norm * q.norm
+	best, bestShift := math.Inf(-1), 0
+	for s := -(p.n - 1); s <= p.n-1; s++ {
+		idx := s
+		if idx < 0 {
+			idx += p.padded
+		}
+		if v := real(prod[idx]) / denom; v > best {
+			best, bestShift = v, s
+		}
+	}
+	return 1 - best, bestShift
+}
+
+// PairwiseSBD computes the full symmetric SBD distance matrix for a set of
+// equal-length series, caching per-series FFTs so each pair costs one
+// spectrum product. It returns an error when lengths differ.
+func PairwiseSBD(series [][]float64) ([][]float64, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, nil
+	}
+	want := len(series[0])
+	profiles := make([]*sbdProfile, n)
+	for i, s := range series {
+		if len(s) != want {
+			return nil, fmt.Errorf("kshape: series %d has length %d, want %d", i, len(s), want)
+		}
+		if want == 0 {
+			return nil, fmt.Errorf("kshape: series %d is empty", i)
+		}
+		profiles[i] = newSBDProfile(s)
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := profiles[i].dist(profiles[j])
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return d, nil
+}
+
+func l2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,84 @@
+package kshape
+
+import (
+	"sort"
+
+	"github.com/sieve-microservices/sieve/internal/strdist"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// NameSeeds produces an initial cluster assignment for k clusters from
+// metric names: k seed names are chosen by deterministic farthest-point
+// traversal under Jaro-Winkler distance and every name is assigned to its
+// most similar seed. Developers name related metrics similarly
+// ("cpu_usage", "cpu_usage_percentile"), so this starts k-Shape close to
+// a fixed point (§3.2); it affects convergence speed only.
+func NameSeeds(names []string, k int) []int {
+	n := len(names)
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+
+	// Deterministic order regardless of input permutation: work on the
+	// lexicographically smallest name first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+
+	seeds := make([]int, 0, k)
+	seeds = append(seeds, order[0])
+	for len(seeds) < k {
+		bestIdx, bestDist := -1, -1.0
+		for _, i := range order {
+			if containsInt(seeds, i) {
+				continue
+			}
+			// Distance to the closest already-chosen seed.
+			closest := 2.0
+			for _, s := range seeds {
+				d := 1 - strdist.JaroWinkler(names[i], names[s])
+				if d < closest {
+					closest = d
+				}
+			}
+			if closest > bestDist {
+				bestDist, bestIdx = closest, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		seeds = append(seeds, bestIdx)
+	}
+
+	for i, name := range names {
+		bestC, bestSim := 0, -1.0
+		for c, s := range seeds {
+			sim := strdist.JaroWinkler(name, names[s])
+			if sim > bestSim {
+				bestSim, bestC = sim, c
+			}
+		}
+		assign[i] = bestC
+	}
+	return assign
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func znormCopy(s []float64) []float64 {
+	return timeseries.ZNormalize(s)
+}

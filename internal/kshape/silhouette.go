@@ -1,0 +1,148 @@
+package kshape
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Silhouette computes the mean silhouette coefficient of an assignment
+// using a precomputed distance matrix (use PairwiseSBD). Values range from
+// -1 (wrong assignment) to 1 (perfect); the paper selects the cluster
+// count k with the best silhouette (§3.2). Points in singleton clusters
+// contribute 0 by convention.
+func Silhouette(dist [][]float64, assign []int) (float64, error) {
+	n := len(assign)
+	if n == 0 {
+		return 0, errors.New("kshape: empty assignment")
+	}
+	if len(dist) != n {
+		return 0, fmt.Errorf("kshape: distance matrix has %d rows for %d points", len(dist), n)
+	}
+
+	clusters := map[int][]int{}
+	for i, a := range assign {
+		clusters[a] = append(clusters[a], i)
+	}
+	if len(clusters) < 2 {
+		// A single cluster has no between-cluster separation; silhouette
+		// is undefined, returned as 0 so k=1 never wins a sweep.
+		return 0, nil
+	}
+
+	var total float64
+	for i := 0; i < n; i++ {
+		own := clusters[assign[i]]
+		if len(own) <= 1 {
+			continue // contributes 0
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += dist[i][j]
+			}
+		}
+		a /= float64(len(own) - 1)
+
+		b := math.Inf(1)
+		for c, members := range clusters {
+			if c == assign[i] {
+				continue
+			}
+			var d float64
+			for _, j := range members {
+				d += dist[i][j]
+			}
+			d /= float64(len(members))
+			if d < b {
+				b = d
+			}
+		}
+
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n), nil
+}
+
+// SweepResult is the outcome of a ChooseK sweep.
+type SweepResult struct {
+	// Result is the clustering with the best silhouette.
+	*Result
+	// Silhouette is the winning score.
+	Silhouette float64
+	// Scores maps each attempted k to its silhouette.
+	Scores map[int]float64
+}
+
+// ChooseK clusters the series for every k in [kMin, kMax] and returns the
+// clustering with the highest silhouette score. The paper found k <= 7
+// sufficient for components with up to 300 metrics. names, when non-nil,
+// seeds the initial assignments by metric-name similarity.
+func ChooseK(series [][]float64, names []string, kMin, kMax int, seed int64) (*SweepResult, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, errors.New("kshape: no series")
+	}
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("kshape: invalid k range [%d,%d]", kMin, kMax)
+	}
+	if kMax > n {
+		kMax = n
+	}
+	if kMin > n {
+		kMin = n
+	}
+	if names != nil && len(names) != n {
+		return nil, fmt.Errorf("kshape: %d names for %d series", len(names), n)
+	}
+
+	// One series (or a degenerate range) cannot be swept.
+	if n == 1 {
+		res, err := Cluster(series, Options{K: 1, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResult{Result: res, Silhouette: 0, Scores: map[int]float64{1: 0}}, nil
+	}
+
+	// The distance matrix is independent of k; compute it once.
+	dist, err := PairwiseSBD(normalizeAll(series))
+	if err != nil {
+		return nil, err
+	}
+
+	best := &SweepResult{Silhouette: math.Inf(-1), Scores: map[int]float64{}}
+	for k := kMin; k <= kMax; k++ {
+		opts := Options{K: k, Seed: seed, Restarts: 3}
+		if names != nil {
+			opts.InitialAssignments = NameSeeds(names, k)
+		}
+		res, err := Cluster(series, opts)
+		if err != nil {
+			return nil, err
+		}
+		score, err := Silhouette(dist, res.Assignments)
+		if err != nil {
+			return nil, err
+		}
+		best.Scores[k] = score
+		if score > best.Silhouette {
+			best.Silhouette = score
+			best.Result = res
+		}
+	}
+	return best, nil
+}
+
+func normalizeAll(series [][]float64) [][]float64 {
+	// PairwiseSBD divides by norms, so only centering matters for SBD;
+	// reuse the same z-normalization as Cluster for consistency.
+	out := make([][]float64, len(series))
+	for i, s := range series {
+		out[i] = znormCopy(s)
+	}
+	return out
+}

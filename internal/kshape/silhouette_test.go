@@ -1,0 +1,116 @@
+package kshape
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSilhouetteKnownGeometry(t *testing.T) {
+	// Four points, two tight pairs far apart.
+	dist := [][]float64{
+		{0, 0.1, 1.0, 1.0},
+		{0.1, 0, 1.0, 1.0},
+		{1.0, 1.0, 0, 0.1},
+		{1.0, 1.0, 0.1, 0},
+	}
+	good, err := Silhouette(dist, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.85 {
+		t.Errorf("good assignment silhouette = %g, want ~0.9", good)
+	}
+	bad, err := Silhouette(dist, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad >= good {
+		t.Errorf("bad assignment silhouette %g not worse than good %g", bad, good)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	dist := [][]float64{{0, 1}, {1, 0}}
+	s, err := Silhouette(dist, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("single cluster silhouette = %g, want 0", s)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette(nil, nil); err == nil {
+		t.Error("expected error for empty assignment")
+	}
+	if _, err := Silhouette([][]float64{{0}}, []int{0, 1}); err == nil {
+		t.Error("expected error for size mismatch")
+	}
+}
+
+func TestChooseKFindsTwoFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	series, truth := twoShapeFamilies(rng, 6, 96)
+	sweep, err := ChooseK(series, nil, 2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.K != 2 {
+		t.Errorf("ChooseK selected k=%d (scores %v), want 2", sweep.K, sweep.Scores)
+	}
+	ami, err := AMI(sweep.Assignments, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami < 0.9 {
+		t.Errorf("winning clustering AMI = %g, want high", ami)
+	}
+	if len(sweep.Scores) != 4 {
+		t.Errorf("scores for %d values of k, want 4", len(sweep.Scores))
+	}
+}
+
+func TestChooseKWithNameSeeding(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	series, _ := twoShapeFamilies(rng, 4, 64)
+	names := []string{
+		"sine_a", "sine_b", "sine_c", "sine_d",
+		"square_a", "square_b", "square_c", "square_d",
+	}
+	sweep, err := ChooseK(series, names, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.K != 2 {
+		t.Errorf("k = %d, want 2", sweep.K)
+	}
+}
+
+func TestChooseKDegenerate(t *testing.T) {
+	if _, err := ChooseK(nil, nil, 2, 5, 0); err == nil {
+		t.Error("expected error for no series")
+	}
+	if _, err := ChooseK([][]float64{{1, 2, 3}}, nil, 0, 5, 0); err == nil {
+		t.Error("expected error for invalid k range")
+	}
+	if _, err := ChooseK([][]float64{{1, 2}, {3, 4}}, []string{"a"}, 2, 3, 0); err == nil {
+		t.Error("expected error for name count mismatch")
+	}
+	// A single series degenerates to one cluster.
+	sweep, err := ChooseK([][]float64{{1, 2, 3}}, nil, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.K != 1 || sweep.Assignments[0] != 0 {
+		t.Errorf("single series: k=%d assign=%v", sweep.K, sweep.Assignments)
+	}
+	// kMax clamps to n.
+	sweep, err = ChooseK([][]float64{{1, 2, 9}, {2, 4, 1}, {5, 1, 2}}, nil, 2, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.K > 3 {
+		t.Errorf("k = %d exceeds series count", sweep.K)
+	}
+}

@@ -1,0 +1,153 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		x, mu, sigma, want float64
+	}{
+		{0, 0, 1, 0.5},
+		{1.959964, 0, 1, 0.975},
+		{-1.644854, 0, 1, 0.05},
+		{10, 10, 2, 0.5},
+		{12, 10, 2, 0.8413447},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.x, tt.mu, tt.sigma); !almostEqual(got, tt.want, 1e-6) {
+			t.Errorf("NormalCDF(%g,%g,%g) = %.7f, want %.7f", tt.x, tt.mu, tt.sigma, got, tt.want)
+		}
+	}
+	if got := NormalCDF(0, 0, -1); !math.IsNaN(got) {
+		t.Errorf("negative sigma: got %g, want NaN", got)
+	}
+}
+
+func TestStdNormalCDF(t *testing.T) {
+	if got := StdNormalCDF(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Phi(0) = %g, want 0.5", got)
+	}
+	if got := StdNormalCDF(1.281552); !almostEqual(got, 0.9, 1e-6) {
+		t.Errorf("Phi(1.2816) = %g, want 0.9", got)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// Critical values: t_{0.975,df}.
+	tests := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		{2.085963, 20, 0.975},
+		{-2.085963, 20, 0.025},
+		{1.812461, 10, 0.95},
+		{12.7062, 1, 0.975},
+	}
+	for _, tt := range tests {
+		if got := StudentTCDF(tt.t, tt.df); !almostEqual(got, tt.want, 1e-5) {
+			t.Errorf("StudentTCDF(%g, %g) = %.6f, want %.6f", tt.t, tt.df, got, tt.want)
+		}
+	}
+	if got := StudentTCDF(math.Inf(1), 3); got != 1 {
+		t.Errorf("CDF(+inf) = %g, want 1", got)
+	}
+	if got := StudentTCDF(math.Inf(-1), 3); got != 0 {
+		t.Errorf("CDF(-inf) = %g, want 0", got)
+	}
+	if got := StudentTCDF(1, 0); !math.IsNaN(got) {
+		t.Errorf("df=0: got %g, want NaN", got)
+	}
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// Critical values F_{0.95}(d1,d2) from standard tables.
+	tests := []struct {
+		f, d1, d2, want float64
+	}{
+		{3.325835, 5, 10, 0.95},
+		{4.964603, 1, 10, 0.95},
+		{4.102821, 2, 10, 0.95},
+		{0, 3, 7, 0},
+	}
+	for _, tt := range tests {
+		if got := FCDF(tt.f, tt.d1, tt.d2); !almostEqual(got, tt.want, 1e-5) {
+			t.Errorf("FCDF(%g;%g,%g) = %.6f, want %.6f", tt.f, tt.d1, tt.d2, got, tt.want)
+		}
+	}
+}
+
+func TestFSurvivalComplementsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d1 := 1 + float64(rng.Intn(30))
+		d2 := 1 + float64(rng.Intn(60))
+		x := rng.Float64() * 10
+		c := FCDF(x, d1, d2)
+		s := FSurvival(x, d1, d2)
+		return almostEqual(c+s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFSurvivalTail(t *testing.T) {
+	// A very large F statistic has a tiny but positive p-value; the direct
+	// survival form must not round it to a negative or exactly-zero-by-
+	// cancellation value.
+	p := FSurvival(80, 3, 100)
+	if p <= 0 || p > 1e-10 {
+		t.Errorf("FSurvival(80;3,100) = %g, want tiny positive", p)
+	}
+	if got := FSurvival(0, 3, 10); got != 1 {
+		t.Errorf("FSurvival(0) = %g, want 1", got)
+	}
+	if got := FSurvival(1, 0, 10); !math.IsNaN(got) {
+		t.Errorf("d1=0: got %g, want NaN", got)
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		x, k, want float64
+	}{
+		{3.841459, 1, 0.95},
+		{18.30704, 10, 0.95},
+		{0, 4, 0},
+		{4, 4, 0.59399415},
+	}
+	for _, tt := range tests {
+		if got := ChiSquareCDF(tt.x, tt.k); !almostEqual(got, tt.want, 1e-5) {
+			t.Errorf("ChiSquareCDF(%g,%g) = %.6f, want %.6f", tt.x, tt.k, got, tt.want)
+		}
+	}
+	if got := ChiSquareSurvival(3.841459, 1); !almostEqual(got, 0.05, 1e-5) {
+		t.Errorf("ChiSquareSurvival = %g, want 0.05", got)
+	}
+	if got := ChiSquareCDF(1, 0); !math.IsNaN(got) {
+		t.Errorf("k=0: got %g, want NaN", got)
+	}
+}
+
+func TestCDFsAreMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + float64(rng.Intn(40))
+		x1 := rng.NormFloat64() * 3
+		x2 := rng.NormFloat64() * 3
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if StudentTCDF(x1, df) > StudentTCDF(x2, df)+1e-12 {
+			return false
+		}
+		return StdNormalCDF(x1) <= StdNormalCDF(x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,12 @@
+// Package mathx provides the numerical building blocks used across the
+// Sieve reproduction: a radix-2 FFT with padding-based cross-correlation,
+// small dense linear algebra (Householder QR least squares, power-iteration
+// eigensolver), and the special functions (regularized incomplete beta and
+// gamma) that back the statistical distribution CDFs needed by the F-test,
+// the Augmented Dickey-Fuller test, and the Granger causality machinery.
+//
+// Everything is implemented from scratch on top of the Go standard library;
+// the implementations favour numerical robustness for the moderate problem
+// sizes Sieve encounters (time series of 10^2..10^5 points, regression
+// designs with tens of columns).
+package mathx

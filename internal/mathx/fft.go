@@ -1,0 +1,160 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two that is >= n. It returns 1 for
+// n <= 1. The result is used to pad series before FFT-based correlation.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the forward discrete Fourier transform of x in place and
+// returns x. The length of x must be a power of two; FFT panics otherwise
+// (callers pad with NextPow2 first). The transform is unnormalized:
+// X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n).
+func FFT(x []complex128) []complex128 {
+	return fft(x, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x in place and
+// returns x, normalizing by 1/n so that IFFT(FFT(x)) == x up to rounding.
+// The length of x must be a power of two.
+func IFFT(x []complex128) []complex128 {
+	fft(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return x
+}
+
+// fft is an iterative radix-2 Cooley-Tukey transform. inverse selects the
+// conjugate twiddle factors (without the 1/n normalization).
+func fft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("mathx: FFT length %d is not a power of two", n))
+	}
+	if n == 1 {
+		return x
+	}
+
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle factor advanced multiplicatively per butterfly column.
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return x
+}
+
+// CrossCorrelate computes the full linear cross-correlation of two
+// equal-length real series via FFT. The result r has length 2n-1 where
+// n = len(a) == len(b); entry r[k] corresponds to shift s = k-(n-1) and
+// holds
+//
+//	r[k] = sum_t a[t] * b[t-s]
+//
+// i.e. positive shifts slide b to the right relative to a. This is the
+// quantity CC_w used by the k-Shape shape-based distance. CrossCorrelate
+// panics if the lengths differ or are zero.
+func CrossCorrelate(a, b []float64) []float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		panic(fmt.Sprintf("mathx: CrossCorrelate needs equal non-empty lengths, got %d and %d", len(a), len(b)))
+	}
+	m := NextPow2(2*n - 1)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		fa[i] = complex(a[i], 0)
+		fb[i] = complex(b[i], 0)
+	}
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		// Correlation uses the conjugate of the second operand's spectrum.
+		fa[i] *= complexConj(fb[i])
+	}
+	IFFT(fa)
+
+	// The circular correlation wraps negative shifts to the tail of the
+	// buffer; unwrap into [-(n-1), n-1] order.
+	r := make([]float64, 2*n-1)
+	for s := -(n - 1); s <= n-1; s++ {
+		idx := s
+		if idx < 0 {
+			idx += m
+		}
+		r[s+n-1] = real(fa[idx])
+	}
+	return r
+}
+
+// Convolve computes the full linear convolution of two real series via FFT.
+// The result has length len(a)+len(b)-1.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	m := NextPow2(outLen)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+func complexConj(c complex128) complex128 {
+	return complex(real(c), -imag(c))
+}

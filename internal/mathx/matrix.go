@@ -1,0 +1,325 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system is (numerically) rank
+// deficient and no unique solution exists.
+var ErrSingular = errors.New("mathx: matrix is singular or rank deficient")
+
+// Matrix is a dense, row-major matrix of float64 values. The zero value is
+// an empty matrix; use NewMatrix to allocate one with a shape.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix allocates an r-by-c zero matrix. It panics if r or c is
+// negative.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", r, c))
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// MatrixFromRows builds a matrix from a slice of equal-length rows, copying
+// the data. It panics on ragged input.
+func MatrixFromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("mathx: ragged rows in MatrixFromRows")
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m*b. It panics on a shape mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mathx: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			rowB := b.data[k*b.cols : (k+1)*b.cols]
+			rowO := out.data[i*out.cols : (i+1)*out.cols]
+			for j, v := range rowB {
+				rowO[j] += a * v
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x. It panics on a shape
+// mismatch.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("mathx: MulVec shape mismatch %dx%d * %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SolveLeastSquares solves min_x ||A*x - b||_2 using Householder QR.
+// A must have at least as many rows as columns; it returns ErrSingular when
+// A is numerically rank deficient.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mathx: design has %d rows but response has %d", a.rows, len(b))
+	}
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("mathx: underdetermined system %dx%d", a.rows, a.cols)
+	}
+	n, p := a.rows, a.cols
+	if p == 0 {
+		return nil, errors.New("mathx: empty design matrix")
+	}
+
+	r := a.Clone()
+	y := make([]float64, n)
+	copy(y, b)
+
+	// Householder QR: for each column k, reflect so that the subdiagonal
+	// becomes zero; apply the same reflection to y.
+	for k := 0; k < p; k++ {
+		// norm of column k below (and including) the diagonal
+		var norm float64
+		for i := k; i < n; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		// Give norm the sign of the pivot so the reflector head
+		// v[k] = pivot/norm + 1 stays >= 1 (numerically stable choice).
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < n; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < p; j++ {
+			var s float64
+			for i := k; i < n; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < n; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		// Apply the reflector to y.
+		var s float64
+		for i := k; i < n; i++ {
+			s += r.At(i, k) * y[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < n; i++ {
+			y[i] += s * r.At(i, k)
+		}
+		// Store the diagonal of R (the reflectors live below it).
+		r.Set(k, k, norm)
+	}
+
+	// Back substitution on the p-by-p upper triangle. The diagonal of R now
+	// holds -norm values from the loop above; check conditioning.
+	x := make([]float64, p)
+	for k := p - 1; k >= 0; k-- {
+		d := -r.At(k, k) // sign flipped by the reflector construction
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		s := y[k]
+		for j := k + 1; j < p; j++ {
+			s -= r.At(k, j) * x[j]
+		}
+		x[k] = -s / r.At(k, k)
+	}
+	return x, nil
+}
+
+// PowerIteration computes the dominant eigenvector (and eigenvalue) of a
+// square symmetric matrix using deterministic power iteration. It starts
+// from a fixed seed vector, iterates at most maxIter times, and stops once
+// successive normalized iterates differ by less than tol in Euclidean norm.
+// It panics if s is not square.
+func PowerIteration(s *Matrix, maxIter int, tol float64) (vec []float64, eigenvalue float64) {
+	if s.rows != s.cols {
+		panic(fmt.Sprintf("mathx: PowerIteration needs a square matrix, got %dx%d", s.rows, s.cols))
+	}
+	n := s.rows
+	if n == 0 {
+		return nil, 0
+	}
+	v := make([]float64, n)
+	// Deterministic, non-degenerate start: a mildly sloped vector avoids
+	// being orthogonal to the dominant eigenvector in common cases.
+	for i := range v {
+		v[i] = 1 + float64(i%7)/7
+	}
+	normalize(v)
+
+	prev := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		copy(prev, v)
+		w := s.MulVec(v)
+		nw := normalize(w)
+		if nw == 0 {
+			// s annihilated v; restart with an orthogonal-ish direction.
+			for i := range w {
+				w[i] = float64(1 + (i*31)%13)
+			}
+			normalize(w)
+		}
+		copy(v, w)
+		// Eigenvectors are sign-ambiguous; compare against both signs.
+		if vecDist(v, prev) < tol || vecDistNeg(v, prev) < tol {
+			break
+		}
+	}
+	// Rayleigh quotient for the eigenvalue.
+	w := s.MulVec(v)
+	var lambda float64
+	for i := range v {
+		lambda += v[i] * w[i]
+	}
+	return v, lambda
+}
+
+// DominantEigen computes the dominant eigenvector (and Rayleigh-quotient
+// eigenvalue) of an implicit symmetric linear operator on R^n, given as
+// apply(dst, src) writing op*src into dst. This avoids materializing the
+// n-by-n matrix when the operator has cheap structure (k-Shape's centroid
+// extraction applies Q·AᵀA·Q through the member matrix A directly).
+// Iteration is deterministic and stops after maxIter steps or when
+// successive normalized iterates agree within tol (up to sign).
+func DominantEigen(n int, apply func(dst, src []float64), maxIter int, tol float64) (vec []float64, eigenvalue float64) {
+	if n == 0 {
+		return nil, 0
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 + float64(i%7)/7
+	}
+	normalize(v)
+
+	w := make([]float64, n)
+	prev := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		copy(prev, v)
+		apply(w, v)
+		if normalize(w) == 0 {
+			for i := range w {
+				w[i] = float64(1 + (i*31)%13)
+			}
+			normalize(w)
+		}
+		copy(v, w)
+		if vecDist(v, prev) < tol || vecDistNeg(v, prev) < tol {
+			break
+		}
+	}
+	apply(w, v)
+	var lambda float64
+	for i := range v {
+		lambda += v[i] * w[i]
+	}
+	return v, lambda
+}
+
+func normalize(v []float64) float64 {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}
+
+func vecDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func vecDistNeg(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] + b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

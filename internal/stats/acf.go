@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sieve-microservices/sieve/internal/mathx"
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// ACF returns the sample autocorrelation function of y at lags 0..maxLag
+// (inclusive). Lag 0 is always 1 for a non-constant series; a constant
+// series returns all zeros beyond lag 0 by convention.
+func ACF(y []float64, maxLag int) ([]float64, error) {
+	n := len(y)
+	if maxLag < 0 {
+		return nil, fmt.Errorf("stats: negative maxLag %d", maxLag)
+	}
+	if maxLag >= n {
+		return nil, fmt.Errorf("stats: maxLag %d >= series length %d", maxLag, n)
+	}
+	out := make([]float64, maxLag+1)
+	out[0] = 1
+	m := timeseries.Mean(y)
+	var denom float64
+	for _, v := range y {
+		d := v - m
+		denom += d * d
+	}
+	if denom == 0 {
+		return out, nil
+	}
+	for k := 1; k <= maxLag; k++ {
+		var num float64
+		for t := k; t < n; t++ {
+			num += (y[t] - m) * (y[t-k] - m)
+		}
+		out[k] = num / denom
+	}
+	return out, nil
+}
+
+// LjungBox runs the Ljung-Box portmanteau test for autocorrelation up to
+// maxLag. It returns the Q statistic and the chi-squared p-value with
+// maxLag degrees of freedom; a small p-value indicates the series is not
+// white noise.
+func LjungBox(y []float64, maxLag int) (q, pValue float64, err error) {
+	acf, err := ACF(y, maxLag)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(len(y))
+	for k := 1; k <= maxLag; k++ {
+		q += acf[k] * acf[k] / (n - float64(k))
+	}
+	q *= n * (n + 2)
+	pValue = mathx.ChiSquareSurvival(q, float64(maxLag))
+	if math.IsNaN(pValue) {
+		return q, 0, fmt.Errorf("stats: Ljung-Box p-value undefined for maxLag=%d", maxLag)
+	}
+	return q, pValue, nil
+}

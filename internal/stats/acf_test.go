@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestACFWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	y := make([]float64, 2000)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	acf, err := ACF(y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 {
+		t.Errorf("acf[0] = %g, want 1", acf[0])
+	}
+	for k := 1; k <= 5; k++ {
+		if acf[k] > 0.08 || acf[k] < -0.08 {
+			t.Errorf("white-noise acf[%d] = %g, want ~0", k, acf[k])
+		}
+	}
+}
+
+func TestACFAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	phi := 0.7
+	y := ar1(rng, 5000, phi)
+	acf, err := ACF(y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(acf[1], phi, 0.05) {
+		t.Errorf("AR(1) acf[1] = %g, want ~%g", acf[1], phi)
+	}
+	if !almostEqual(acf[2], phi*phi, 0.07) {
+		t.Errorf("AR(1) acf[2] = %g, want ~%g", acf[2], phi*phi)
+	}
+}
+
+func TestACFConstant(t *testing.T) {
+	acf, err := ACF([]float64{2, 2, 2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 || acf[1] != 0 || acf[2] != 0 {
+		t.Errorf("constant acf = %v, want [1 0 0]", acf)
+	}
+}
+
+func TestACFErrors(t *testing.T) {
+	if _, err := ACF([]float64{1, 2}, -1); err == nil {
+		t.Error("expected error for negative maxLag")
+	}
+	if _, err := ACF([]float64{1, 2}, 2); err == nil {
+		t.Error("expected error for maxLag >= n")
+	}
+}
+
+func TestLjungBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	noise := make([]float64, 1000)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	_, pNoise, err := LjungBox(noise, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNoise < 0.01 {
+		t.Errorf("white noise Ljung-Box p = %g, want comfortably above 0.01", pNoise)
+	}
+
+	series := ar1(rng, 1000, 0.6)
+	_, pAR, err := LjungBox(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pAR > 1e-10 {
+		t.Errorf("AR(1) Ljung-Box p = %g, want tiny", pAR)
+	}
+}

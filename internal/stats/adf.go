@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// ADFResult is the outcome of an Augmented Dickey-Fuller unit-root test.
+type ADFResult struct {
+	// Stat is the Dickey-Fuller t-statistic on the lagged level term.
+	Stat float64
+	// Lags is the number of augmentation lags used.
+	Lags int
+	// CriticalValues holds the MacKinnon critical values at 1%, 5% and
+	// 10% for the constant-only regression.
+	CriticalValues [3]float64
+	// Stationary reports whether the unit-root null was rejected at the
+	// 5% level (Stat < CriticalValues[1]).
+	Stationary bool
+}
+
+// macKinnonConstOnly are asymptotic critical values for the ADF test with
+// a constant and no trend (MacKinnon 2010), at 1%, 5% and 10%.
+var macKinnonConstOnly = [3]float64{-3.43, -2.86, -2.57}
+
+// DefaultADFLags returns the Schwert rule-of-thumb lag order
+// floor(12*(n/100)^(1/4)) capped so the regression keeps enough residual
+// degrees of freedom.
+func DefaultADFLags(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	l := int(math.Floor(12 * math.Pow(float64(n)/100, 0.25)))
+	if maxL := n/2 - 3; l > maxL {
+		l = maxL
+	}
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// ADF runs the Augmented Dickey-Fuller test with a constant (no trend):
+//
+//	Δy_t = α + γ·y_{t-1} + Σ_{i=1..lags} δ_i·Δy_{t-i} + ε_t
+//
+// The null hypothesis is γ = 0 (unit root, non-stationary); it is rejected
+// when the t-statistic on γ is below the 5% MacKinnon critical value.
+// Sieve first-differences series that fail this test before Granger
+// analysis (§3.3). Pass lags < 0 to use DefaultADFLags.
+func ADF(y []float64, lags int) (*ADFResult, error) {
+	n := len(y)
+	if lags < 0 {
+		lags = DefaultADFLags(n)
+	}
+	// Need rows = n-1-lags observations and 2+lags parameters with at
+	// least a few residual degrees of freedom.
+	rows := n - 1 - lags
+	params := 2 + lags
+	if rows < params+3 {
+		return nil, fmt.Errorf("%w: ADF with %d lags needs more than %d samples", ErrTooFewObservations, lags, n)
+	}
+	if timeseries.IsConstant(y) {
+		// A constant series is trivially stationary; the regression would
+		// be singular, so answer directly.
+		return &ADFResult{
+			Stat:           math.Inf(-1),
+			Lags:           lags,
+			CriticalValues: macKinnonConstOnly,
+			Stationary:     true,
+		}, nil
+	}
+
+	dy := timeseries.Diff(y) // dy[t] = y[t+1]-y[t], length n-1
+
+	// Response: Δy_t for t = lags..n-2 (index into dy).
+	resp := make([]float64, rows)
+	level := make([]float64, rows) // y_{t-1} term: y[lags], y[lags+1], ...
+	lagCols := make([][]float64, lags)
+	for i := range lagCols {
+		lagCols[i] = make([]float64, rows)
+	}
+	for r := 0; r < rows; r++ {
+		t := lags + r
+		resp[r] = dy[t]
+		level[r] = y[t]
+		for i := 1; i <= lags; i++ {
+			lagCols[i-1][r] = dy[t-i]
+		}
+	}
+
+	cols := append([][]float64{level}, lagCols...)
+	design, err := DesignWithIntercept(cols...)
+	if err != nil {
+		return nil, err
+	}
+	model, err := FitOLS(resp, design)
+	if err != nil {
+		return nil, fmt.Errorf("stats: ADF regression: %w", err)
+	}
+	// Column 0 is the intercept; column 1 is γ on y_{t-1}.
+	stat := model.TStat(1)
+	return &ADFResult{
+		Stat:           stat,
+		Lags:           lags,
+		CriticalValues: macKinnonConstOnly,
+		Stationary:     stat < macKinnonConstOnly[1],
+	}, nil
+}
+
+// EnsureStationary returns a series suitable for Granger testing: the
+// input itself when the ADF test deems it stationary, otherwise its first
+// difference (padding is not applied; the result is one sample shorter).
+// The returned bool reports whether differencing was applied. Series too
+// short to test are returned unchanged.
+func EnsureStationary(y []float64, lags int) ([]float64, bool) {
+	res, err := ADF(y, lags)
+	if err != nil || res.Stationary {
+		return y, false
+	}
+	return timeseries.Diff(y), true
+}

@@ -1,0 +1,178 @@
+// Package stats implements the regression and hypothesis-testing machinery
+// Sieve's dependency extraction is built on: ordinary least squares with
+// the diagnostics needed for nested-model F-tests, the Augmented
+// Dickey-Fuller unit-root test used to detect non-stationary metrics, and
+// autocorrelation utilities.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sieve-microservices/sieve/internal/mathx"
+)
+
+// ErrTooFewObservations is returned when a model has no residual degrees
+// of freedom.
+var ErrTooFewObservations = errors.New("stats: too few observations for the requested model")
+
+// OLS holds a fitted ordinary-least-squares regression.
+type OLS struct {
+	// Coef are the fitted coefficients, one per design column.
+	Coef []float64
+	// Residuals are y - X*Coef.
+	Residuals []float64
+	// RSS is the residual sum of squares.
+	RSS float64
+	// TSS is the total sum of squares around the response mean.
+	TSS float64
+	// N is the number of observations, P the number of design columns.
+	N, P int
+	// StdErr are the coefficient standard errors (sqrt of the diagonal of
+	// sigma^2 (X'X)^-1).
+	StdErr []float64
+	// sigma2 is the residual variance estimate RSS/(N-P).
+	sigma2 float64
+}
+
+// FitOLS fits y ~ X by least squares. X must have len(y) rows and at least
+// one column, and there must be at least one residual degree of freedom
+// (N > P). The returned model includes coefficient standard errors, which
+// the ADF test needs for its t-statistic.
+func FitOLS(y []float64, x *mathx.Matrix) (*OLS, error) {
+	n, p := x.Rows(), x.Cols()
+	if n != len(y) {
+		return nil, fmt.Errorf("stats: %d observations but %d design rows", len(y), n)
+	}
+	if p == 0 {
+		return nil, errors.New("stats: empty design matrix")
+	}
+	if n <= p {
+		return nil, fmt.Errorf("%w: n=%d p=%d", ErrTooFewObservations, n, p)
+	}
+
+	coef, err := mathx.SolveLeastSquares(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("stats: solving normal equations: %w", err)
+	}
+
+	pred := x.MulVec(coef)
+	res := make([]float64, n)
+	var rss float64
+	for i := range y {
+		res[i] = y[i] - pred[i]
+		rss += res[i] * res[i]
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var tss float64
+	for _, v := range y {
+		d := v - mean
+		tss += d * d
+	}
+
+	m := &OLS{
+		Coef:      coef,
+		Residuals: res,
+		RSS:       rss,
+		TSS:       tss,
+		N:         n,
+		P:         p,
+		sigma2:    rss / float64(n-p),
+	}
+	m.StdErr, err = coefStdErr(x, m.sigma2)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// R2 returns the coefficient of determination. A response with zero
+// variance yields NaN.
+func (m *OLS) R2() float64 {
+	if m.TSS == 0 {
+		return math.NaN()
+	}
+	return 1 - m.RSS/m.TSS
+}
+
+// DegreesOfFreedom returns the residual degrees of freedom N-P.
+func (m *OLS) DegreesOfFreedom() int { return m.N - m.P }
+
+// TStat returns the t-statistic Coef[j]/StdErr[j].
+func (m *OLS) TStat(j int) float64 {
+	if j < 0 || j >= len(m.Coef) {
+		return math.NaN()
+	}
+	if m.StdErr[j] == 0 {
+		return math.Inf(sign(m.Coef[j]))
+	}
+	return m.Coef[j] / m.StdErr[j]
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// coefStdErr computes sqrt(sigma2 * diag((X'X)^-1)) by solving X'X e_j for
+// each basis vector with the QR solver. Designs here are small (tens of
+// columns), so the O(p^4) cost is irrelevant.
+func coefStdErr(x *mathx.Matrix, sigma2 float64) ([]float64, error) {
+	p := x.Cols()
+	xtx := x.T().Mul(x)
+	out := make([]float64, p)
+	for j := 0; j < p; j++ {
+		e := make([]float64, p)
+		e[j] = 1
+		col, err := mathx.SolveLeastSquares(xtx, e)
+		if err != nil {
+			return nil, fmt.Errorf("stats: X'X singular computing std errors: %w", err)
+		}
+		v := col[j] * sigma2
+		if v < 0 {
+			v = 0
+		}
+		out[j] = math.Sqrt(v)
+	}
+	return out, nil
+}
+
+// DesignWithIntercept builds a design matrix whose first column is the
+// constant 1 followed by the given predictor columns. All columns must
+// share the same length.
+func DesignWithIntercept(cols ...[]float64) (*mathx.Matrix, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("stats: no predictor columns")
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("stats: column %d has %d rows, want %d", i, len(c), n)
+		}
+	}
+	m := mathx.NewMatrix(n, len(cols)+1)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, 1)
+		for j, c := range cols {
+			m.Set(i, j+1, c[i])
+		}
+	}
+	return m, nil
+}
+
+// InterceptOnly builds an n-by-1 design of ones, the restricted model for
+// "y is predicted by its mean alone".
+func InterceptOnly(n int) *mathx.Matrix {
+	m := mathx.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, 1)
+	}
+	return m
+}

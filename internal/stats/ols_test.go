@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sieve-microservices/sieve/internal/mathx"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestFitOLSKnownSmallExample(t *testing.T) {
+	// y = 1 + 2x fitted through exact points.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	design, err := DesignWithIntercept(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitOLS(y, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Coef[0], 1, 1e-9) || !almostEqual(m.Coef[1], 2, 1e-9) {
+		t.Fatalf("coef = %v, want [1 2]", m.Coef)
+	}
+	if !almostEqual(m.RSS, 0, 1e-18) {
+		t.Errorf("RSS = %g, want 0", m.RSS)
+	}
+	if !almostEqual(m.R2(), 1, 1e-12) {
+		t.Errorf("R2 = %g, want 1", m.R2())
+	}
+	if m.DegreesOfFreedom() != 2 {
+		t.Errorf("df = %d, want 2", m.DegreesOfFreedom())
+	}
+}
+
+func TestFitOLSRecoversPlantedWithNoise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 400
+		b0, b1, b2 := rng.NormFloat64()*2, rng.NormFloat64()*2, rng.NormFloat64()*2
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x1[i] = rng.NormFloat64()
+			x2[i] = rng.NormFloat64()
+			y[i] = b0 + b1*x1[i] + b2*x2[i] + rng.NormFloat64()*0.1
+		}
+		design, err := DesignWithIntercept(x1, x2)
+		if err != nil {
+			return false
+		}
+		m, err := FitOLS(y, design)
+		if err != nil {
+			return false
+		}
+		return almostEqual(m.Coef[0], b0, 0.05) &&
+			almostEqual(m.Coef[1], b1, 0.05) &&
+			almostEqual(m.Coef[2], b2, 0.05)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitOLSStdErrKnown(t *testing.T) {
+	// For y ~ 1 with intercept only, StdErr(intercept) = s/sqrt(n) with
+	// s^2 the sample variance (n-1 denominator).
+	y := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FitOLS(y, InterceptOnly(len(y)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Coef[0], 3.5, 1e-12) {
+		t.Fatalf("intercept = %g, want 3.5", m.Coef[0])
+	}
+	s2 := m.RSS / float64(len(y)-1)
+	want := math.Sqrt(s2 / float64(len(y)))
+	if !almostEqual(m.StdErr[0], want, 1e-9) {
+		t.Errorf("StdErr = %g, want %g", m.StdErr[0], want)
+	}
+}
+
+func TestFitOLSErrors(t *testing.T) {
+	if _, err := FitOLS([]float64{1, 2}, mathx.NewMatrix(3, 1)); err == nil {
+		t.Error("expected row-count mismatch error")
+	}
+	if _, err := FitOLS([]float64{1, 2}, mathx.NewMatrix(2, 0)); err == nil {
+		t.Error("expected empty-design error")
+	}
+	if _, err := FitOLS([]float64{1, 2}, mathx.NewMatrix(2, 2)); !errors.Is(err, ErrTooFewObservations) {
+		t.Errorf("n<=p: err = %v, want ErrTooFewObservations", err)
+	}
+	// Collinear design must surface the singularity.
+	design, _ := DesignWithIntercept([]float64{1, 1, 1, 1})
+	if _, err := FitOLS([]float64{1, 2, 3, 4}, design); err == nil {
+		t.Error("expected singularity error for collinear design")
+	}
+}
+
+func TestOLSTStat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 5*x[i] + rng.NormFloat64()*0.5
+	}
+	design, _ := DesignWithIntercept(x)
+	m, err := FitOLS(y, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := m.TStat(1); ts < 20 {
+		t.Errorf("t-stat for strong predictor = %g, want large", ts)
+	}
+	if !math.IsNaN(m.TStat(5)) {
+		t.Error("out-of-range TStat must be NaN")
+	}
+}
+
+func TestDesignWithInterceptShape(t *testing.T) {
+	d, err := DesignWithIntercept([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 2 || d.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", d.Rows(), d.Cols())
+	}
+	if d.At(0, 0) != 1 || d.At(1, 0) != 1 {
+		t.Error("first column must be the intercept")
+	}
+	if d.At(1, 2) != 4 {
+		t.Errorf("At(1,2) = %g, want 4", d.At(1, 2))
+	}
+	if _, err := DesignWithIntercept(); err == nil {
+		t.Error("expected error with no columns")
+	}
+	if _, err := DesignWithIntercept([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged columns")
+	}
+}

@@ -1,0 +1,76 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Spline is a natural cubic spline through a set of knots. The paper uses
+// third-order spline interpolation to reconstruct missing samples because
+// it introduces less distortion than linear interpolation or
+// previous-value averaging (§3.2).
+type Spline struct {
+	xs, ys []float64
+	// second derivatives at the knots (natural boundary: zero at ends)
+	y2 []float64
+}
+
+// NewSpline fits a natural cubic spline through the given knots. The xs
+// must be strictly increasing and len(xs) == len(ys) >= 3.
+func NewSpline(xs, ys []float64) (*Spline, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return nil, fmt.Errorf("timeseries: spline knot mismatch %d vs %d", n, len(ys))
+	}
+	if n < 3 {
+		return nil, errors.New("timeseries: spline needs at least 3 knots")
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("timeseries: spline xs not strictly increasing at %d", i)
+		}
+	}
+
+	// Solve the tridiagonal system for the second derivatives (Thomas
+	// algorithm specialised for the natural boundary conditions).
+	y2 := make([]float64, n)
+	u := make([]float64, n-1)
+	for i := 1; i < n-1; i++ {
+		sig := (xs[i] - xs[i-1]) / (xs[i+1] - xs[i-1])
+		p := sig*y2[i-1] + 2
+		y2[i] = (sig - 1) / p
+		du := (ys[i+1]-ys[i])/(xs[i+1]-xs[i]) - (ys[i]-ys[i-1])/(xs[i]-xs[i-1])
+		u[i] = (6*du/(xs[i+1]-xs[i-1]) - sig*u[i-1]) / p
+	}
+	for k := n - 2; k >= 0; k-- {
+		y2[k] = y2[k]*y2[k+1] + u[k]
+	}
+
+	s := &Spline{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		y2: y2,
+	}
+	return s, nil
+}
+
+// Eval evaluates the spline at x. Outside the knot range it extrapolates
+// the boundary cubic; callers that need clamping must clamp themselves.
+func (s *Spline) Eval(x float64) float64 {
+	n := len(s.xs)
+	// Binary search for the bracketing interval [xs[lo], xs[lo+1]].
+	lo := sort.SearchFloat64s(s.xs, x) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n-2 {
+		lo = n - 2
+	}
+	hi := lo + 1
+	h := s.xs[hi] - s.xs[lo]
+	a := (s.xs[hi] - x) / h
+	b := (x - s.xs[lo]) / h
+	return a*s.ys[lo] + b*s.ys[hi] +
+		((a*a*a-a)*s.y2[lo]+(b*b*b-b)*s.y2[hi])*(h*h)/6
+}

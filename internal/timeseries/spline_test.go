@@ -1,0 +1,82 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplineInterpolatesKnotsExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x := rng.Float64()
+		for i := 0; i < n; i++ {
+			x += 0.1 + rng.Float64()
+			xs[i] = x
+			ys[i] = rng.NormFloat64() * 5
+		}
+		sp, err := NewSpline(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if !almostEqual(sp.Eval(xs[i]), ys[i], 1e-9*(1+math.Abs(ys[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplineReproducesLine(t *testing.T) {
+	// A natural cubic spline through collinear points is exactly linear.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	sp, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 4; x += 0.25 {
+		want := 1 + 2*x
+		if !almostEqual(sp.Eval(x), want, 1e-9) {
+			t.Errorf("Eval(%g) = %g, want %g", x, sp.Eval(x), want)
+		}
+	}
+}
+
+func TestSplineSmoothInterior(t *testing.T) {
+	// Sample sin(x); interior evaluation error must be small.
+	var xs, ys []float64
+	for x := 0.0; x <= 10; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(x))
+	}
+	sp, err := NewSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1.0; x <= 9; x += 0.13 {
+		if !almostEqual(sp.Eval(x), math.Sin(x), 5e-3) {
+			t.Errorf("Eval(%g) = %g, want ~%g", x, sp.Eval(x), math.Sin(x))
+		}
+	}
+}
+
+func TestSplineErrors(t *testing.T) {
+	if _, err := NewSpline([]float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("expected error for too few knots")
+	}
+	if _, err := NewSpline([]float64{0, 1, 1}, []float64{0, 1, 2}); err == nil {
+		t.Error("expected error for non-increasing xs")
+	}
+	if _, err := NewSpline([]float64{0, 1, 2}, []float64{0, 1}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+}

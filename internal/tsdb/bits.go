@@ -1,0 +1,84 @@
+// Package tsdb is the time-series store backing Sieve's monitoring plane,
+// standing in for InfluxDB in the paper's pipeline. It speaks a
+// line-protocol wire format, compresses series with the Gorilla scheme
+// (delta-of-delta timestamps, XOR values), and meters the resources the
+// paper's Table 3 reports: ingest CPU time, stored bytes, and network
+// bytes in/out.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a reader runs past the end of its input.
+var ErrShortBuffer = errors.New("tsdb: bit buffer exhausted")
+
+// bitWriter packs bits most-significant-first into a byte slice.
+type bitWriter struct {
+	buf   []byte
+	nBits int // bits used in the final byte (0..8; 0 means buf is "full")
+}
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(bit bool) {
+	if w.nBits == 0 || w.nBits == 8 {
+		w.buf = append(w.buf, 0)
+		w.nBits = 0
+	}
+	if bit {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.nBits)
+	}
+	w.nBits++
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("tsdb: writeBits n=%d", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// bytes returns the encoded buffer (the final byte may be partially used).
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes bits most-significant-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int // absolute bit position
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+// readBit consumes one bit.
+func (r *bitReader) readBit() (bool, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return false, ErrShortBuffer
+	}
+	bit := r.buf[byteIdx]>>(7-uint(r.pos&7))&1 == 1
+	r.pos++
+	return bit, nil
+}
+
+// readBits consumes n bits and returns them right-aligned.
+func (r *bitReader) readBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("tsdb: readBits n=%d", n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	return v, nil
+}

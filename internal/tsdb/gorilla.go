@@ -1,0 +1,257 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Point is one stored observation.
+type Point struct {
+	// T is the timestamp in milliseconds.
+	T int64
+	// V is the value.
+	V float64
+}
+
+// CompressBlock encodes a time-ordered batch of points with the Gorilla
+// scheme (Pelkonen et al., VLDB 2015): the first timestamp and value are
+// stored raw, timestamp deltas are encoded as delta-of-delta with
+// variable-width buckets, and values are XORed against their predecessor
+// with leading/trailing-zero windows. Points must be in non-decreasing
+// time order (enforced); an empty batch encodes to an empty block.
+func CompressBlock(points []Point) ([]byte, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	w := &bitWriter{}
+
+	// Header: count (32 bits), first timestamp (64), first value (64).
+	w.writeBits(uint64(len(points)), 32)
+	w.writeBits(uint64(points[0].T), 64)
+	w.writeBits(math.Float64bits(points[0].V), 64)
+
+	prevT := points[0].T
+	var prevDelta int64
+	prevV := math.Float64bits(points[0].V)
+	prevLeading, prevTrailing := -1, -1
+
+	for i := 1; i < len(points); i++ {
+		p := points[i]
+		if p.T < prevT {
+			return nil, fmt.Errorf("tsdb: timestamps not ordered at index %d (%d < %d)", i, p.T, prevT)
+		}
+
+		// Timestamp: delta-of-delta bucket encoding.
+		delta := p.T - prevT
+		dod := delta - prevDelta
+		switch {
+		case dod == 0:
+			w.writeBit(false)
+		case dod >= -63 && dod <= 64:
+			w.writeBits(0b10, 2)
+			w.writeBits(uint64(dod+63), 7)
+		case dod >= -255 && dod <= 256:
+			w.writeBits(0b110, 3)
+			w.writeBits(uint64(dod+255), 9)
+		case dod >= -2047 && dod <= 2048:
+			w.writeBits(0b1110, 4)
+			w.writeBits(uint64(dod+2047), 12)
+		default:
+			w.writeBits(0b1111, 4)
+			w.writeBits(uint64(dod), 64)
+		}
+		prevT, prevDelta = p.T, delta
+
+		// Value: XOR encoding.
+		cur := math.Float64bits(p.V)
+		xor := cur ^ prevV
+		switch {
+		case xor == 0:
+			w.writeBit(false)
+		default:
+			w.writeBit(true)
+			leading := bits.LeadingZeros64(xor)
+			trailing := bits.TrailingZeros64(xor)
+			if leading > 31 {
+				leading = 31 // 5-bit field
+			}
+			if prevLeading >= 0 && leading >= prevLeading && trailing >= prevTrailing {
+				// Fits inside the previous meaningful window.
+				w.writeBit(false)
+				meaningful := 64 - prevLeading - prevTrailing
+				w.writeBits(xor>>uint(prevTrailing), meaningful)
+			} else {
+				w.writeBit(true)
+				meaningful := 64 - leading - trailing
+				w.writeBits(uint64(leading), 5)
+				// meaningful is in 1..64; store 64 as 0 to fit 6 bits.
+				w.writeBits(uint64(meaningful&63), 6)
+				w.writeBits(xor>>uint(trailing), meaningful)
+				prevLeading, prevTrailing = leading, trailing
+			}
+		}
+		prevV = cur
+	}
+	return w.bytes(), nil
+}
+
+// DecompressBlock decodes a block produced by CompressBlock.
+func DecompressBlock(block []byte) ([]Point, error) {
+	if len(block) == 0 {
+		return nil, nil
+	}
+	r := newBitReader(block)
+	count, err := r.readBits(32)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, errors.New("tsdb: block with zero count")
+	}
+	// Plausibility bound against corrupted headers: every point after the
+	// first costs at least 2 bits (one timestamp control bit + one value
+	// control bit), so the claimed count cannot exceed what the buffer
+	// can physically hold. Without this check a flipped header bit could
+	// demand a multi-gigabyte allocation.
+	maxPoints := uint64(len(block))*8/2 + 1
+	if count > maxPoints {
+		return nil, fmt.Errorf("tsdb: block claims %d points but holds at most %d", count, maxPoints)
+	}
+	t0, err := r.readBits(64)
+	if err != nil {
+		return nil, err
+	}
+	v0, err := r.readBits(64)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Point, 0, count)
+	out = append(out, Point{T: int64(t0), V: math.Float64frombits(v0)})
+
+	prevT := int64(t0)
+	var prevDelta int64
+	prevV := v0
+	prevLeading, prevTrailing := -1, -1
+
+	for i := uint64(1); i < count; i++ {
+		dod, err := readDoD(r)
+		if err != nil {
+			return nil, err
+		}
+		delta := prevDelta + dod
+		t := prevT + delta
+		prevT, prevDelta = t, delta
+
+		v, leading, trailing, err := readXORValue(r, prevV, prevLeading, prevTrailing)
+		if err != nil {
+			return nil, err
+		}
+		prevV = v
+		if leading >= 0 {
+			prevLeading, prevTrailing = leading, trailing
+		}
+		out = append(out, Point{T: t, V: math.Float64frombits(v)})
+	}
+	return out, nil
+}
+
+// readDoD decodes one delta-of-delta bucket.
+func readDoD(r *bitReader) (int64, error) {
+	bit, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !bit {
+		return 0, nil
+	}
+	// Count additional prefix ones (up to 3 more).
+	prefix := 1
+	for prefix < 4 {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			break
+		}
+		prefix++
+	}
+	switch prefix {
+	case 1: // '10'
+		v, err := r.readBits(7)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 63, nil
+	case 2: // '110'
+		v, err := r.readBits(9)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 255, nil
+	case 3: // '1110'
+		v, err := r.readBits(12)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 2047, nil
+	default: // '1111'
+		v, err := r.readBits(64)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v), nil
+	}
+}
+
+// readXORValue decodes one XOR-encoded value; it returns the new window
+// when the control bits establish one (leading >= 0), else -1s.
+func readXORValue(r *bitReader, prevV uint64, prevLeading, prevTrailing int) (v uint64, leading, trailing int, err error) {
+	bit, err := r.readBit()
+	if err != nil {
+		return 0, -1, -1, err
+	}
+	if !bit {
+		return prevV, -1, -1, nil
+	}
+	ctrl, err := r.readBit()
+	if err != nil {
+		return 0, -1, -1, err
+	}
+	if !ctrl {
+		// Reuse the previous window.
+		if prevLeading < 0 {
+			return 0, -1, -1, errors.New("tsdb: window reuse before any window was set")
+		}
+		meaningful := 64 - prevLeading - prevTrailing
+		mbits, err := r.readBits(meaningful)
+		if err != nil {
+			return 0, -1, -1, err
+		}
+		return prevV ^ (mbits << uint(prevTrailing)), -1, -1, nil
+	}
+	lead, err := r.readBits(5)
+	if err != nil {
+		return 0, -1, -1, err
+	}
+	mlen, err := r.readBits(6)
+	if err != nil {
+		return 0, -1, -1, err
+	}
+	meaningful := int(mlen)
+	if meaningful == 0 {
+		meaningful = 64
+	}
+	trail := 64 - int(lead) - meaningful
+	if trail < 0 {
+		return 0, -1, -1, errors.New("tsdb: corrupt XOR window")
+	}
+	mbits, err := r.readBits(meaningful)
+	if err != nil {
+		return 0, -1, -1, err
+	}
+	return prevV ^ (mbits << uint(trail)), int(lead), trail, nil
+}

@@ -1,0 +1,110 @@
+package tsdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one metric observation on the wire.
+type Sample struct {
+	// Component is the emitting microservice component.
+	Component string
+	// Metric is the metric name within the component.
+	Metric string
+	// T is the timestamp in milliseconds.
+	T int64
+	// V is the value.
+	V float64
+}
+
+// Key returns the canonical series identifier "component/metric".
+func (s Sample) Key() string { return s.Component + "/" + s.Metric }
+
+// AppendLineProtocol encodes a sample in the wire format
+//
+//	<component>,metric=<name> value=<v> <t>\n
+//
+// mirroring the InfluxDB line protocol the paper's Telegraf deployment
+// speaks, and appends it to dst.
+func AppendLineProtocol(dst []byte, s Sample) []byte {
+	dst = append(dst, s.Component...)
+	dst = append(dst, ",metric="...)
+	dst = append(dst, s.Metric...)
+	dst = append(dst, " value="...)
+	dst = strconv.AppendFloat(dst, s.V, 'g', -1, 64)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, s.T, 10)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// EncodeLineProtocol encodes a batch of samples.
+func EncodeLineProtocol(samples []Sample) []byte {
+	var dst []byte
+	for _, s := range samples {
+		dst = AppendLineProtocol(dst, s)
+	}
+	return dst
+}
+
+// ParseLineProtocol decodes a batch encoded by EncodeLineProtocol. Blank
+// lines are ignored; any malformed line aborts with an error naming the
+// line number.
+func ParseLineProtocol(data []byte) ([]Sample, error) {
+	var out []Sample
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: line %d: %w", i+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	var s Sample
+	comma := strings.IndexByte(line, ',')
+	if comma < 0 {
+		return s, fmt.Errorf("missing tag separator in %q", line)
+	}
+	s.Component = line[:comma]
+	rest := line[comma+1:]
+	if !strings.HasPrefix(rest, "metric=") {
+		return s, fmt.Errorf("missing metric tag in %q", line)
+	}
+	rest = rest[len("metric="):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return s, fmt.Errorf("missing field section in %q", line)
+	}
+	s.Metric = rest[:sp]
+	rest = rest[sp+1:]
+	if !strings.HasPrefix(rest, "value=") {
+		return s, fmt.Errorf("missing value field in %q", line)
+	}
+	rest = rest[len("value="):]
+	sp = strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return s, fmt.Errorf("missing timestamp in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest[:sp], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value: %w", err)
+	}
+	t, err := strconv.ParseInt(rest[sp+1:], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad timestamp: %w", err)
+	}
+	if s.Component == "" || s.Metric == "" {
+		return s, fmt.Errorf("empty component or metric in %q", line)
+	}
+	s.V = v
+	s.T = t
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package tsdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecompressArbitraryBytesNeverPanics feeds random garbage to the
+// block decoder: it must return an error or a (possibly nonsensical)
+// point list, never panic — corrupted storage must not take the store
+// down.
+func TestDecompressArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		_, _ = DecompressBlock(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecompressBitFlips corrupts single bits of valid blocks: decoding
+// must never panic and never loop forever.
+func TestDecompressBitFlips(t *testing.T) {
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{T: int64(i) * 500, V: float64(i % 5)}
+	}
+	block, err := CompressBlock(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(block)*8; bit += 7 {
+		corrupted := append([]byte(nil), block...)
+		corrupted[bit/8] ^= 1 << (bit % 8)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on bit flip %d: %v", bit, r)
+				}
+			}()
+			_, _ = DecompressBlock(corrupted)
+		}()
+	}
+}
+
+// TestParseLineProtocolArbitraryBytesNeverPanics does the same for the
+// wire decoder.
+func TestParseLineProtocolArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, rng.Intn(300))
+		rng.Read(buf)
+		_, _ = ParseLineProtocol(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package sieve is a from-scratch Go reproduction of "Sieve: Actionable
+// Insights from Monitored Metrics in Distributed Systems" (Thalheim et
+// al., ACM/IFIP/USENIX Middleware 2017).
+//
+// Sieve turns the flood of metrics a microservices application exports
+// into a small set of actionable signals in three steps:
+//
+//  1. Load the application with a workload generator while recording all
+//     metrics as time series and extracting the inter-component call
+//     graph from a syscall-level trace (no application changes).
+//  2. Reduce each component's metrics: drop unvarying series, cluster
+//     the rest by shape (k-Shape over the shape-based distance), and
+//     keep one representative metric per cluster.
+//  3. Identify dependencies: Granger-causality tests between the
+//     representative metrics of communicating components yield a typed
+//     dependency graph (metric, direction, lag, significance), with
+//     bidirectional results filtered as confounded.
+//
+// The resulting Artifact drives the paper's two case studies, both
+// implemented here: threshold autoscaling guided by the metric that
+// appears most often in Granger relations (Table 4), and root-cause
+// analysis that diffs the artifacts of a correct and a faulty version
+// (Table 5, Figures 7-8).
+//
+// Everything the paper's deployment depended on is implemented in this
+// module against the standard library alone: the statistics stack (FFT,
+// OLS, F/ADF tests, k-Shape, AMI), the monitoring plane (metric
+// registries, a scraping collector, a Gorilla-compressed time-series
+// store, sysdig/tcpdump-style tracers), and deterministic simulators of
+// the two evaluated applications (ShareLatex and OpenStack, the latter
+// with Launchpad bug #1533942 as a switchable fault).
+//
+// # Quick start
+//
+//	app, _ := sieve.NewShareLatex(42)
+//	pattern := sieve.RandomLoad(1, 600, 100, 1200)
+//	artifact, capture, _ := sieve.Run(app, pattern, sieve.DefaultPipelineOptions())
+//	fmt.Println(artifact.Reduction.TotalBefore(), "->", artifact.Reduction.TotalAfter())
+//	metric, _ := artifact.Graph.MostFrequentMetric()
+//	fmt.Println("autoscaling signal:", metric)
+//	_ = capture
+package sieve
+
+import (
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/app/openstack"
+	"github.com/sieve-microservices/sieve/internal/app/sharelatex"
+	"github.com/sieve-microservices/sieve/internal/autoscale"
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+	"github.com/sieve-microservices/sieve/internal/metrics"
+	"github.com/sieve-microservices/sieve/internal/rca"
+	"github.com/sieve-microservices/sieve/internal/trace"
+)
+
+// App is a running microservice application simulation. It exposes
+// metric registries per component, accepts external load via Step, emits
+// trace events for call-graph extraction, and supports runtime scaling
+// and fault injection.
+type App = app.App
+
+// AppSpec declares a simulated application topology.
+type AppSpec = app.Spec
+
+// ComponentSpec declares one microservice component of an AppSpec.
+type ComponentSpec = app.ComponentSpec
+
+// ComponentCall declares a downstream dependency of a component.
+type ComponentCall = app.Call
+
+// MetricFamily declares a group of related exported metrics derived from
+// one simulated signal.
+type MetricFamily = app.Family
+
+// FaultImpact describes how an active fault distorts one component.
+type FaultImpact = app.FaultImpact
+
+// Metric family drivers: the simulated signal feeding a family.
+const (
+	// DriverUtil is the component's utilization.
+	DriverUtil = app.DriverUtil
+	// DriverRate is the arrival rate (requests/second).
+	DriverRate = app.DriverRate
+	// DriverLatency is the end-to-end latency including lagged
+	// downstream contributions (milliseconds).
+	DriverLatency = app.DriverLatency
+	// DriverOwnLatency is the component-local latency (milliseconds).
+	DriverOwnLatency = app.DriverOwnLatency
+	// DriverErrors is the error rate (errors/second).
+	DriverErrors = app.DriverErrors
+	// DriverMemory is the memory footprint.
+	DriverMemory = app.DriverMemory
+	// DriverQueue is the queue depth.
+	DriverQueue = app.DriverQueue
+	// DriverConst is a constant (for build-info style metrics).
+	DriverConst = app.DriverConst
+)
+
+// Pattern is a load trace: external requests/second per simulation tick.
+type Pattern = loadgen.Pattern
+
+// Dataset is a captured load run: every metric resampled onto a regular
+// grid plus the observed call graph.
+type Dataset = core.Dataset
+
+// Artifact is the pipeline's end product: dataset, per-component metric
+// reductions, and the Granger dependency graph.
+type Artifact = core.Artifact
+
+// CaptureResult bundles a dataset with the monitoring-plane handles for
+// resource accounting.
+type CaptureResult = core.CaptureResult
+
+// Reduction maps components to their metric reductions (step 2 output).
+type Reduction = core.Reduction
+
+// ComponentReduction is one component's clusters and representatives.
+type ComponentReduction = core.ComponentReduction
+
+// DependencyGraph is the step-3 output: directed metric-level edges with
+// lags and significance.
+type DependencyGraph = core.DependencyGraph
+
+// DependencyEdge is one inferred dependency.
+type DependencyEdge = core.DependencyEdge
+
+// PipelineOptions bundles per-step pipeline options.
+type PipelineOptions = core.PipelineOptions
+
+// CaptureOptions tunes step 1 (scrape cadence, tracer size, allowlist).
+type CaptureOptions = core.CaptureOptions
+
+// ReduceOptions tunes step 2 (cluster count range, variance threshold).
+type ReduceOptions = core.ReduceOptions
+
+// DepOptions tunes step 3 (delay bound, significance level).
+type DepOptions = core.DepOptions
+
+// AutoscaleRule is one threshold scaling rule.
+type AutoscaleRule = autoscale.Rule
+
+// AutoscaleEngine evaluates scaling rules against a running App.
+type AutoscaleEngine = autoscale.Engine
+
+// AutoscaleAction is one executed scaling decision.
+type AutoscaleAction = autoscale.Action
+
+// SLATracker counts violations of a p90-latency SLA.
+type SLATracker = autoscale.SLATracker
+
+// RCAOptions tunes the root-cause-analysis engine.
+type RCAOptions = rca.Options
+
+// RCAReport is the five-step RCA output: component novelty ranking,
+// cluster diffs, filtered edge events, and the final suspect list.
+type RCAReport = rca.Report
+
+// NewShareLatex builds the simulated ShareLatex deployment (15
+// components, ~889 metrics) used by the autoscaling case study.
+func NewShareLatex(seed int64) (*App, error) {
+	return sharelatex.New(seed)
+}
+
+// ShareLatexHubMetric is the metric the paper identified as the best
+// autoscaling signal for ShareLatex.
+const ShareLatexHubMetric = sharelatex.HubMetric
+
+// NewOpenStack builds the simulated OpenStack deployment (16 components,
+// 508 metrics). faulty activates Launchpad bug #1533942 (the Open
+// vSwitch agent crash behind "No valid host was found").
+func NewOpenStack(seed int64, faulty bool) (*App, error) {
+	return openstack.New(seed, faulty)
+}
+
+// NewApp builds an application from a custom topology spec.
+func NewApp(spec AppSpec, seed int64) (*App, error) {
+	return app.New(spec, seed)
+}
+
+// ConstantLoad returns a flat load pattern.
+func ConstantLoad(rps float64, ticks int) Pattern {
+	return loadgen.Constant(rps, ticks)
+}
+
+// RandomLoad returns the randomized workload used by the paper's
+// robustness experiments (piecewise levels with ramps and jitter).
+func RandomLoad(seed int64, ticks int, minRPS, maxRPS float64) Pattern {
+	return loadgen.Random(seed, ticks, minRPS, maxRPS)
+}
+
+// WorldCupLoad returns a trace with the diurnal-plus-spikes shape of the
+// WorldCup'98 HTTP log used by the autoscaling experiment.
+func WorldCupLoad(seed int64, ticks int, baseRPS, peakRPS float64) Pattern {
+	return loadgen.WorldCup(seed, ticks, baseRPS, peakRPS)
+}
+
+// DefaultPipelineOptions returns the paper's parameters: scrape every
+// tick, variance threshold 0.002, k in [2,7] with name seeding, 500 ms
+// delay bound, alpha 0.05.
+func DefaultPipelineOptions() PipelineOptions {
+	return PipelineOptions{Reduce: core.DefaultReduceOptions()}
+}
+
+// Capture performs pipeline step 1 only.
+func Capture(a *App, pattern Pattern, opts CaptureOptions) (*CaptureResult, error) {
+	return core.Capture(a, pattern, opts)
+}
+
+// Reduce performs pipeline step 2 only.
+func Reduce(ds *Dataset, opts ReduceOptions) (Reduction, error) {
+	return core.Reduce(ds, opts)
+}
+
+// IdentifyDependencies performs pipeline step 3 only.
+func IdentifyDependencies(ds *Dataset, red Reduction, opts DepOptions) (*DependencyGraph, error) {
+	return core.IdentifyDependencies(ds, red, opts)
+}
+
+// Run executes the full three-step pipeline.
+func Run(a *App, pattern Pattern, opts PipelineOptions) (*Artifact, *CaptureResult, error) {
+	return core.Run(a, pattern, opts)
+}
+
+// MarshalArtifact serializes an artifact to a versioned JSON form for
+// offline analysis or later RCA comparison.
+func MarshalArtifact(a *Artifact) ([]byte, error) {
+	return core.MarshalArtifact(a)
+}
+
+// UnmarshalArtifact reconstructs an artifact serialized by
+// MarshalArtifact.
+func UnmarshalArtifact(data []byte) (*Artifact, error) {
+	return core.UnmarshalArtifact(data)
+}
+
+// NewAutoscaler creates a scaling engine from rules; cooldownTicks is
+// the minimum spacing between actions on one component.
+func NewAutoscaler(a *App, rules []AutoscaleRule, cooldownTicks int) (*AutoscaleEngine, error) {
+	return autoscale.NewEngine(a, rules, cooldownTicks)
+}
+
+// CPUScalingPolicy builds the traditional per-component CPU-threshold
+// baseline policy.
+func CPUScalingPolicy(components []string, up, down float64, maxInstances int) []AutoscaleRule {
+	return autoscale.CPUPolicy(components, up, down, maxInstances)
+}
+
+// SieveScalingPolicy derives scaling rules from a pipeline artifact: the
+// guiding metric is the one appearing most often in Granger relations.
+// It returns the rules and the chosen "component/metric" key.
+func SieveScalingPolicy(art *Artifact, up, down float64, maxInstances int) ([]AutoscaleRule, string, error) {
+	return autoscale.SievePolicy(art, up, down, maxInstances)
+}
+
+// NewSLATracker creates a tracker for "p90 latency below thresholdMS",
+// sampling one SLA verdict per windowSize observations.
+func NewSLATracker(thresholdMS float64, windowSize int) *SLATracker {
+	return autoscale.NewSLATracker(thresholdMS, windowSize)
+}
+
+// RefineThresholds derives scale-up/scale-down thresholds for a guiding
+// metric from a calibration trace of (metric value, latency) pairs
+// against an SLA, the paper's iterative refinement (§4.1).
+func RefineThresholds(metricValues, latencies []float64, slaMS float64) (up, down float64, err error) {
+	return autoscale.RefineThresholds(metricValues, latencies, slaMS)
+}
+
+// MetricRegistry holds the exported metrics of one component (returned
+// by App.Registry).
+type MetricRegistry = metrics.Registry
+
+// MetricProbe reads one metric as an instantaneous signal, converting
+// counters to per-read deltas — the value stream scaling rules see.
+type MetricProbe = autoscale.Probe
+
+// NewMetricProbe creates a probe for the metric on the given registry.
+func NewMetricProbe(reg *MetricRegistry, metric string) *MetricProbe {
+	return autoscale.NewProbe(reg, metric)
+}
+
+// Diagnose runs the five-step RCA over the artifacts of a correct and a
+// faulty application version.
+func Diagnose(correct, faulty *Artifact, opts RCAOptions) (*RCAReport, error) {
+	return rca.Diagnose(correct, faulty, opts)
+}
+
+// Tracer is a sysdig-like syscall event sink: bounded ring buffer, user
+// filter, binary encoding per event. Attach one to an App to observe its
+// network syscalls.
+type Tracer = trace.Tracer
+
+// TraceEvent is one captured syscall with process context.
+type TraceEvent = trace.Event
+
+// PacketCapture is a tcpdump-like per-packet capturer (addresses only,
+// no process context).
+type PacketCapture = trace.PacketCapture
+
+// CallGraph is the directed component communication graph.
+type CallGraph = callgraph.Graph
+
+// NewTracer creates a syscall tracer with the given ring capacity
+// (<= 0 uses the default) and an optional filter (nil keeps everything).
+func NewTracer(capacity int, filter func(*TraceEvent) bool) *Tracer {
+	if filter == nil {
+		return trace.NewTracer(capacity, nil)
+	}
+	return trace.NewTracer(capacity, trace.Filter(filter))
+}
+
+// NewPacketCapture creates a packet capturer with the given snap length
+// (<= 0 uses tcpdump's classic default).
+func NewPacketCapture(snapLen int) *PacketCapture {
+	return trace.NewPacketCapture(snapLen)
+}
+
+// CallGraphFromSyscalls builds the call graph from a syscall event
+// stream using the process context carried by accept/connect events.
+func CallGraphFromSyscalls(events []TraceEvent) *CallGraph {
+	return callgraph.FromSyscallEvents(events)
+}
+
+// CallGraphFromPackets builds the call graph from packet (src, dst)
+// pairs plus an externally supplied address-to-component map; unmapped
+// endpoints are dropped (the packet-capture context gap of §3.1).
+func CallGraphFromPackets(pairs map[[2]string]int, addrToComponent map[string]string) *CallGraph {
+	return callgraph.FromPacketPairs(pairs, addrToComponent)
+}
