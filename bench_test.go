@@ -1,6 +1,10 @@
 package sieve
 
 import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -39,6 +43,85 @@ func benchArtifact(b *testing.B, run func() (*experiments.Result, error)) {
 				b.ReportMetric(v, k)
 			}
 		}
+	}
+}
+
+var (
+	benchCaptureOnce sync.Once
+	benchCapture     *CaptureResult
+	benchCaptureErr  error
+)
+
+// sharedCapture captures one quick-config ShareLatex dataset (200 ticks,
+// randomized load) for the parallel pipeline benchmarks. The dataset is
+// read-only in steps 2 and 3, so all worker counts share it.
+func sharedCapture() (*CaptureResult, error) {
+	benchCaptureOnce.Do(func() {
+		app, err := NewShareLatex(42)
+		if err != nil {
+			benchCaptureErr = err
+			return
+		}
+		benchCapture, benchCaptureErr = Capture(app, RandomLoad(142, 200, 200, 2500), CaptureOptions{})
+	})
+	return benchCapture, benchCaptureErr
+}
+
+// reduceAndDeps runs the full analysis path (Reduce + IdentifyDependencies)
+// at the given worker count and returns the resulting artifact bytes.
+func reduceAndDeps(ds *Dataset, workers int) ([]byte, error) {
+	ctx := context.Background()
+	ropts := DefaultPipelineOptions().Reduce
+	ropts.Parallelism = workers
+	red, err := ReduceContext(ctx, ds, ropts)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := IdentifyDependenciesContext(ctx, ds, red, DepOptions{Parallelism: workers})
+	if err != nil {
+		return nil, err
+	}
+	return MarshalArtifact(&Artifact{App: ds.App, Dataset: ds, Reduction: red, Graph: graph})
+}
+
+// BenchmarkPipelineParallel measures the concurrent executor on the full
+// Reduce+Deps path over a quick-config ShareLatex capture at 1, 4, and
+// GOMAXPROCS workers; the wall-clock ratio between the workers=1 and
+// workers=4 variants is the tracked speedup. Before timing, each variant
+// is checked to produce the exact bytes of the sequential path.
+func BenchmarkPipelineParallel(b *testing.B) {
+	capture, err := sharedCapture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := capture.Dataset
+	sequential, err := reduceAndDeps(ds, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=4", 4},
+		{fmt.Sprintf("workers=gomaxprocs(%d)", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			got, err := reduceAndDeps(ds, bench.workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(sequential, got) {
+				b.Fatalf("artifact at %s differs from the sequential path", bench.name)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reduceAndDeps(ds, bench.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/sieve-microservices/sieve
+
+go 1.22

@@ -220,14 +220,14 @@ func TestRunFullPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	art, cap, err := Run(a, loadgen.Random(9, 200, 100, 1500), PipelineOptions{})
+	art, capture, err := Run(a, loadgen.Random(9, 200, 100, 1500), PipelineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if art.App != "chain" || art.Dataset == nil || art.Reduction == nil || art.Graph == nil {
 		t.Fatalf("incomplete artifact: %+v", art)
 	}
-	if cap.DB == nil {
+	if capture.DB == nil {
 		t.Error("capture handles missing")
 	}
 	if len(art.Graph.Edges) == 0 {

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -106,6 +107,18 @@ type CaptureOptions struct {
 // record the syscall stream, and return the resampled dataset plus the
 // monitoring-plane handles.
 func Capture(a *app.App, pattern loadgen.Pattern, opts CaptureOptions) (*CaptureResult, error) {
+	return CaptureContext(context.Background(), a, pattern, opts)
+}
+
+// CaptureContext is Capture with cancellation: the context is checked on
+// every simulation tick, so a cancellation mid-load surfaces as ctx.Err()
+// without draining the remaining pattern. Capture itself stays
+// single-threaded — the simulation advances one global clock, so there
+// is nothing to fan out.
+func CaptureContext(ctx context.Context, a *app.App, pattern loadgen.Pattern, opts CaptureOptions) (*CaptureResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(pattern) == 0 {
 		return nil, errors.New("core: empty load pattern")
 	}
@@ -131,7 +144,7 @@ func Capture(a *app.App, pattern loadgen.Pattern, opts CaptureOptions) (*Capture
 
 	start := a.Now()
 	var scrapeErr error
-	loadgen.Drive(a, pattern, func(tick int, nowMS int64) {
+	loadgen.DriveContext(ctx, a, pattern, func(tick int, nowMS int64) {
 		if tick%scrapeEvery == 0 && scrapeErr == nil {
 			if _, err := coll.ScrapeOnce(nowMS); err != nil {
 				scrapeErr = err
@@ -141,6 +154,9 @@ func Capture(a *app.App, pattern loadgen.Pattern, opts CaptureOptions) (*Capture
 			opts.OnTick(tick, nowMS)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if scrapeErr != nil {
 		return nil, fmt.Errorf("core: scraping during capture: %w", scrapeErr)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,11 @@ type DepOptions struct {
 	// KeepBidirectional retains bidirectional edges instead of filtering
 	// them as spurious (used by the ablation bench; the paper filters).
 	KeepBidirectional bool
+	// Parallelism sizes the worker pool that fans the per-pair Granger
+	// tests out (one task per communicating component pair); 0 means
+	// runtime.GOMAXPROCS(0), values below 1 clamp to a single worker.
+	// The graph is bit-identical at any setting.
+	Parallelism int
 }
 
 func (o DepOptions) withDefaults() DepOptions {
@@ -118,11 +124,14 @@ func (g *DependencyGraph) MostFrequentMetric() (string, int) {
 
 // DOT renders the component-level dependency graph in Graphviz format.
 func (g *DependencyGraph) DOT() string {
+	counts := map[[2]string]int{}
+	for _, e := range g.Edges {
+		counts[[2]string{e.From, e.To}]++
+	}
 	var b strings.Builder
 	b.WriteString("digraph dependencies {\n")
 	for _, p := range g.ComponentPairs() {
-		n := len(g.EdgesBetween(p[0], p[1]))
-		fmt.Fprintf(&b, "  %q -> %q [label=%d];\n", p[0], p[1], n)
+		fmt.Fprintf(&b, "  %q -> %q [label=%d];\n", p[0], p[1], counts[p])
 	}
 	b.WriteString("}\n")
 	return b.String()
@@ -134,6 +143,25 @@ func (g *DependencyGraph) DOT() string {
 // other, in both directions, keeping significant unidirectional
 // relationships and discarding bidirectional ones as confounded (§3.3).
 func IdentifyDependencies(ds *Dataset, red Reduction, opts DepOptions) (*DependencyGraph, error) {
+	return IdentifyDependenciesContext(context.Background(), ds, red, opts)
+}
+
+// pairResult collects one communicating pair's Granger outcomes; slots
+// are merged in pair order so the parallel path stays deterministic.
+type pairResult struct {
+	edges         []DependencyEdge
+	tested        int
+	bidirectional int
+}
+
+// IdentifyDependenciesContext is IdentifyDependencies with cancellation
+// and a worker pool: one task per communicating component pair (the
+// cluster-pair Granger tests run inside the task), fanned out to
+// opts.Parallelism workers. Edges and the Tested/Bidirectional counters
+// are accumulated per task and merged race-free in pair order before the
+// final sort (whose comparator is tie-free over the edge fields), so the
+// graph is bit-identical to the sequential path at any worker count.
+func IdentifyDependenciesContext(ctx context.Context, ds *Dataset, red Reduction, opts DepOptions) (*DependencyGraph, error) {
 	opts = opts.withDefaults()
 	if ds.CallGraph == nil {
 		return nil, fmt.Errorf("core: dataset has no call graph")
@@ -141,21 +169,26 @@ func IdentifyDependencies(ds *Dataset, red Reduction, opts DepOptions) (*Depende
 	maxLag := granger.LagSamples(opts.DelayMS, ds.StepMS)
 	gopts := granger.Options{MaxLag: maxLag, Alpha: opts.Alpha}
 
-	out := &DependencyGraph{}
-	for _, pair := range ds.CallGraph.CommunicatingPairs() {
-		a, b := pair[0], pair[1]
+	pairs := ds.CallGraph.CommunicatingPairs()
+	results := make([]pairResult, len(pairs))
+	err := runTasks(ctx, opts.Parallelism, len(pairs), func(ctx context.Context, i int) error {
+		a, b := pairs[i][0], pairs[i][1]
 		ra, rb := red[a], red[b]
 		if ra == nil || rb == nil {
-			continue
+			return nil
 		}
+		res := &results[i]
 		for _, ca := range ra.Clusters {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			for _, cb := range rb.Clusters {
 				sa := ds.Get(a, ca.Representative)
 				sb := ds.Get(b, cb.Representative)
 				if sa == nil || sb == nil {
 					continue
 				}
-				out.Tested++
+				res.tested++
 				dir, xy, yx, err := granger.Direction(sa.Values, sb.Values, gopts)
 				if err != nil {
 					// Series too short or degenerate for this pair; skip.
@@ -163,20 +196,31 @@ func IdentifyDependencies(ds *Dataset, red Reduction, opts DepOptions) (*Depende
 				}
 				switch dir {
 				case granger.XCausesY:
-					out.Edges = append(out.Edges, edgeFrom(a, b, ca.Representative, cb.Representative, xy, ds.StepMS))
+					res.edges = append(res.edges, edgeFrom(a, b, ca.Representative, cb.Representative, xy, ds.StepMS))
 				case granger.YCausesX:
-					out.Edges = append(out.Edges, edgeFrom(b, a, cb.Representative, ca.Representative, yx, ds.StepMS))
+					res.edges = append(res.edges, edgeFrom(b, a, cb.Representative, ca.Representative, yx, ds.StepMS))
 				case granger.Bidirectional:
 					if opts.KeepBidirectional {
-						out.Edges = append(out.Edges,
+						res.edges = append(res.edges,
 							edgeFrom(a, b, ca.Representative, cb.Representative, xy, ds.StepMS),
 							edgeFrom(b, a, cb.Representative, ca.Representative, yx, ds.StepMS))
 					} else {
-						out.Bidirectional++
+						res.bidirectional++
 					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &DependencyGraph{}
+	for i := range results {
+		out.Edges = append(out.Edges, results[i].edges...)
+		out.Tested += results[i].tested
+		out.Bidirectional += results[i].bidirectional
 	}
 	sort.Slice(out.Edges, func(i, j int) bool {
 		ei, ej := out.Edges[i], out.Edges[j]

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"context"
+
+	"github.com/sieve-microservices/sieve/internal/parallel"
+)
+
+// This file is the pipeline's concurrent executor: every stage that fans
+// out — Reduce over components, IdentifyDependencies over communicating
+// component pairs — dispatches through runTasks. The generic worker-pool
+// primitive itself lives in internal/parallel so internal/kshape (which
+// core imports, so it cannot import core back) can reuse it for the
+// silhouette sweep.
+//
+// Determinism contract: a task only writes to its own index's slot, the
+// caller merges slots in index order, and any per-task randomness is
+// seeded from stable inputs (component name, candidate k). The merged
+// output is therefore bit-identical to the sequential path at any worker
+// count.
+
+// runTasks fans n index-addressed tasks out to a pool sized by the given
+// Parallelism knob (0 = GOMAXPROCS, <0 clamps to 1). It returns the
+// first task error or the context's error on cancellation.
+func runTasks(ctx context.Context, parallelism, n int, task func(ctx context.Context, i int) error) error {
+	return parallel.ForEach(ctx, parallelism, n, task)
+}
+
+// innerBudget sizes a pool nested inside an outer fan-out of outerTasks
+// tasks (Reduce's per-component silhouette sweeps). When the outer stage
+// already fills the budget, nested pools run sequentially — without this
+// a 16-way Reduce would spawn 16 sweeps of up to 16 workers each,
+// oversubscribing CPU-bound goroutines ~outerTasks-fold. With fewer
+// outer tasks than workers, the leftover budget is split evenly
+// (ceiling) so small topologies still use the whole machine. Worker
+// counts never affect results, only scheduling.
+func innerBudget(parallelism, outerTasks int) int {
+	w := parallel.Workers(parallelism)
+	if outerTasks <= 0 || outerTasks >= w {
+		return 1
+	}
+	return (w + outerTasks - 1) / outerTasks
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+)
+
+// TestReduceParallelismDeterminism asserts the per-component fan-out
+// produces the same reduction as the sequential loop at several worker
+// counts.
+func TestReduceParallelismDeterminism(t *testing.T) {
+	res, _ := captureChain(t, 150)
+	opts := DefaultReduceOptions()
+	opts.Parallelism = 1
+	seq, err := Reduce(res.Dataset, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 4, 16} {
+		opts.Parallelism = par
+		got, err := ReduceContext(context.Background(), res.Dataset, opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Errorf("parallelism %d: reduction differs from sequential", par)
+		}
+	}
+}
+
+// TestIdentifyDependenciesParallelismDeterminism asserts the per-pair
+// fan-out merges edges and counters identically to the sequential loop.
+func TestIdentifyDependenciesParallelismDeterminism(t *testing.T) {
+	res, _ := captureChain(t, 150)
+	red, err := Reduce(res.Dataset, DefaultReduceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DepOptions{Parallelism: 1}
+	seq, err := IdentifyDependencies(res.Dataset, red, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Tested == 0 {
+		t.Fatal("no pairs tested; fixture too small")
+	}
+	for _, par := range []int{0, 2, 8} {
+		got, err := IdentifyDependenciesContext(context.Background(), res.Dataset, red, DepOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Errorf("parallelism %d: graph differs from sequential", par)
+		}
+	}
+}
+
+// TestReduceContextCanceled asserts a canceled context surfaces as
+// context.Canceled instead of a partial reduction.
+func TestReduceContextCanceled(t *testing.T) {
+	res, _ := captureChain(t, 120)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReduceContext(ctx, res.Dataset, DefaultReduceOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestIdentifyDependenciesContextCanceled mirrors the Reduce case for
+// step 3.
+func TestIdentifyDependenciesContextCanceled(t *testing.T) {
+	res, _ := captureChain(t, 120)
+	red, err := Reduce(res.Dataset, DefaultReduceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := IdentifyDependenciesContext(ctx, res.Dataset, red, DepOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCaptureContextCancelMidLoad asserts cancellation during the load
+// phase aborts the drive loop promptly instead of draining the pattern.
+func TestCaptureContextCancelMidLoad(t *testing.T) {
+	a, err := app.New(chainSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAt = 10
+	opts := CaptureOptions{OnTick: func(tick int, _ int64) {
+		if tick == cancelAt {
+			cancel()
+		}
+	}}
+	_, err = CaptureContext(ctx, a, loadgen.Constant(500, 100000), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ticks := a.Now() / a.TickMS(); ticks > cancelAt+1 {
+		t.Errorf("app advanced %d ticks after cancellation at tick %d", ticks, cancelAt)
+	}
+}
+
+// TestInnerBudget pins the nested-pool sizing: sequential once the
+// outer fan-out fills the budget, ceiling-split leftovers otherwise.
+func TestInnerBudget(t *testing.T) {
+	cases := []struct {
+		parallelism, outer, want int
+	}{
+		{16, 16, 1}, // outer fills the pool
+		{16, 20, 1}, // outer exceeds the pool
+		{16, 15, 2}, // ceil(16/15)
+		{16, 3, 6},  // ceil(16/3)
+		{1, 5, 1},   // sequential stays sequential
+		{8, 0, 1},   // empty outer stage
+		{-4, 10, 1}, // negative clamps to one worker
+	}
+	for _, c := range cases {
+		if got := innerBudget(c.parallelism, c.outer); got != c.want {
+			t.Errorf("innerBudget(%d, %d) = %d, want %d", c.parallelism, c.outer, got, c.want)
+		}
+	}
+}
+
+// TestDOTMatchesEdgesBetween pins the single-pass DOT rendering to the
+// per-pair EdgesBetween counts it replaced.
+func TestDOTMatchesEdgesBetween(t *testing.T) {
+	g := &DependencyGraph{Edges: []DependencyEdge{
+		{From: "a", To: "b", FromMetric: "m1", ToMetric: "m2"},
+		{From: "a", To: "b", FromMetric: "m3", ToMetric: "m4"},
+		{From: "b", To: "c", FromMetric: "m5", ToMetric: "m6"},
+	}}
+	dot := g.DOT()
+	for _, p := range g.ComponentPairs() {
+		want := fmt.Sprintf("%q -> %q [label=%d];", p[0], p[1], len(g.EdgesBetween(p[0], p[1])))
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %s in:\n%s", want, dot)
+		}
+	}
+	if strings.Count(dot, "->") != 2 {
+		t.Errorf("DOT has %d edges, want 2:\n%s", strings.Count(dot, "->"), dot)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/sieve-microservices/sieve/internal/app"
 	"github.com/sieve-microservices/sieve/internal/loadgen"
 )
@@ -26,28 +28,47 @@ type PipelineOptions struct {
 	Reduce ReduceOptions
 	// Deps configures step 3.
 	Deps DepOptions
+	// Parallelism is the pipeline-wide worker-pool size, applied to any
+	// stage whose own Parallelism is left at 0; 0 means
+	// runtime.GOMAXPROCS(0). Results are bit-identical at any setting.
+	Parallelism int
 }
 
 // Run executes the full three-step pipeline against an application under
 // the given load pattern and returns the artifact plus the capture
 // handles (for resource accounting).
 func Run(a *app.App, pattern loadgen.Pattern, opts PipelineOptions) (*Artifact, *CaptureResult, error) {
-	cap, err := Capture(a, pattern, opts.Capture)
+	return RunContext(context.Background(), a, pattern, opts)
+}
+
+// RunContext is Run with cancellation: the context is threaded through
+// every stage, and each stage fans its independent units of work
+// (components in Reduce, communicating pairs in IdentifyDependencies,
+// candidate cluster counts in the silhouette sweep) out to a worker
+// pool sized by the Parallelism knobs.
+func RunContext(ctx context.Context, a *app.App, pattern loadgen.Pattern, opts PipelineOptions) (*Artifact, *CaptureResult, error) {
+	if opts.Reduce.Parallelism == 0 {
+		opts.Reduce.Parallelism = opts.Parallelism
+	}
+	if opts.Deps.Parallelism == 0 {
+		opts.Deps.Parallelism = opts.Parallelism
+	}
+	capture, err := CaptureContext(ctx, a, pattern, opts.Capture)
 	if err != nil {
 		return nil, nil, err
 	}
-	red, err := Reduce(cap.Dataset, opts.Reduce)
+	red, err := ReduceContext(ctx, capture.Dataset, opts.Reduce)
 	if err != nil {
 		return nil, nil, err
 	}
-	graph, err := IdentifyDependencies(cap.Dataset, red, opts.Deps)
+	graph, err := IdentifyDependenciesContext(ctx, capture.Dataset, red, opts.Deps)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &Artifact{
 		App:       a.Name(),
-		Dataset:   cap.Dataset,
+		Dataset:   capture.Dataset,
 		Reduction: red,
 		Graph:     graph,
-	}, cap, nil
+	}, capture, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,11 @@ type ReduceOptions struct {
 	// (the paper's convergence optimization). Defaults to true via
 	// DefaultReduceOptions.
 	NameSeeding bool
+	// Parallelism sizes the worker pool that fans the per-component
+	// reductions (and each component's silhouette sweep) out; 0 means
+	// runtime.GOMAXPROCS(0), values below 1 clamp to a single worker.
+	// The result is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultReduceOptions returns the paper's parameters.
@@ -126,19 +132,40 @@ func (r Reduction) AllowlistKeys() []string {
 // silhouette, and pick each cluster's representative (smallest SBD to the
 // centroid).
 func Reduce(ds *Dataset, opts ReduceOptions) (Reduction, error) {
+	return ReduceContext(context.Background(), ds, opts)
+}
+
+// ReduceContext is Reduce with cancellation and a worker pool: one task
+// per component, fanned out to opts.Parallelism workers. Clustering seeds
+// stay per-component, so the reduction is bit-identical to the
+// sequential path at any worker count.
+func ReduceContext(ctx context.Context, ds *Dataset, opts ReduceOptions) (Reduction, error) {
 	opts = opts.withDefaults()
-	out := Reduction{}
-	for _, component := range ds.Components() {
-		cr, err := reduceComponent(ds, component, opts)
+	components := ds.Components()
+	crs := make([]*ComponentReduction, len(components))
+	// Each component's silhouette sweep gets the worker budget left over
+	// by the component-level fan-out (usually 1 — see innerBudget).
+	sweepOpts := opts
+	sweepOpts.Parallelism = innerBudget(opts.Parallelism, len(components))
+	err := runTasks(ctx, opts.Parallelism, len(components), func(ctx context.Context, i int) error {
+		cr, err := reduceComponent(ctx, ds, components[i], sweepOpts)
 		if err != nil {
-			return nil, fmt.Errorf("core: reducing %s: %w", component, err)
+			return fmt.Errorf("core: reducing %s: %w", components[i], err)
 		}
-		out[component] = cr
+		crs[i] = cr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := Reduction{}
+	for i, component := range components {
+		out[component] = crs[i]
 	}
 	return out, nil
 }
 
-func reduceComponent(ds *Dataset, component string, opts ReduceOptions) (*ComponentReduction, error) {
+func reduceComponent(ctx context.Context, ds *Dataset, component string, opts ReduceOptions) (*ComponentReduction, error) {
 	seriesByName := ds.Series[component]
 	cr := &ComponentReduction{
 		Component:   component,
@@ -179,7 +206,7 @@ func reduceComponent(ds *Dataset, component string, opts ReduceOptions) (*Compon
 	if opts.NameSeeding {
 		seedNames = kept
 	}
-	sweep, err := kshape.ChooseK(series, seedNames, opts.KMin, opts.KMax, opts.Seed)
+	sweep, err := kshape.ChooseKContext(ctx, series, seedNames, opts.KMin, opts.KMax, opts.Seed, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}

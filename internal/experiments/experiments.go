@@ -56,6 +56,10 @@ type Config struct {
 	HTTPRequests int
 	// Seed drives all simulations.
 	Seed int64
+	// Parallelism sizes the pipeline worker pools (0 = GOMAXPROCS).
+	// Artifacts are bit-identical at any setting, so this only changes
+	// how long the suite takes.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -137,14 +141,15 @@ func (s *Suite) shareLatexPipelines() ([]shareLatexRun, error) {
 				return
 			}
 			pattern := loadgen.Random(s.cfg.Seed+int64(100+i), s.cfg.ShareLatexTicks, 200, 2500)
-			art, cap, err := core.Run(a, pattern, core.PipelineOptions{
-				Reduce: core.DefaultReduceOptions(),
+			art, capture, err := core.Run(a, pattern, core.PipelineOptions{
+				Reduce:      core.DefaultReduceOptions(),
+				Parallelism: s.cfg.Parallelism,
 			})
 			if err != nil {
 				s.slErr = fmt.Errorf("sharelatex run %d: %w", i, err)
 				return
 			}
-			s.slRuns = append(s.slRuns, shareLatexRun{artifact: art, capture: cap})
+			s.slRuns = append(s.slRuns, shareLatexRun{artifact: art, capture: capture})
 		}
 	})
 	return s.slRuns, s.slErr
@@ -165,7 +170,8 @@ func (s *Suite) openStackArtifacts() (correct, faulty *core.Artifact, err error)
 				// A 1 s delay bound gives two candidate lags on the 500 ms
 				// grid, so inter-version lag changes are observable
 				// (Fig. 7's lag-change events).
-				Deps: core.DepOptions{DelayMS: 1000},
+				Deps:        core.DepOptions{DelayMS: 1000},
+				Parallelism: s.cfg.Parallelism,
 			})
 			if err != nil {
 				s.osErr = fmt.Errorf("openstack faulty=%v: %w", fault, err)

@@ -29,21 +29,21 @@ func (s *Suite) Table3() (*Result, error) {
 			return 0, 0, 0, 0, err
 		}
 		pattern := loadgen.Random(s.cfg.Seed+100, s.cfg.ShareLatexTicks, 200, 2500)
-		cap, err := core.Capture(a, pattern, core.CaptureOptions{Allowlist: allowlist})
+		capture, err := core.Capture(a, pattern, core.CaptureOptions{Allowlist: allowlist})
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
 		// Dashboard/autoscaler traffic: one full-window query per stored
 		// series (the paper's network-out includes query responses).
-		for _, key := range cap.DB.SeriesKeys() {
+		for _, key := range capture.DB.SeriesKeys() {
 			slash := strings.IndexByte(key, '/')
-			if _, err := cap.DB.Query(key[:slash], key[slash+1:], 0, a.Now()); err != nil {
+			if _, err := capture.DB.Query(key[:slash], key[slash+1:], 0, a.Now()); err != nil {
 				return 0, 0, 0, 0, err
 			}
 		}
-		cap.DB.Flush()
-		st := cap.DB.Stats()
-		cpu := st.IngestCPU.Seconds() + cap.Collector.Stats().EncodeCPU.Seconds()
+		capture.DB.Flush()
+		st := capture.DB.Stats()
+		cpu := st.IngestCPU.Seconds() + capture.Collector.Stats().EncodeCPU.Seconds()
 		return cpu, st.StorageBytes, st.NetworkInBytes, st.NetworkOutBytes, nil
 	}
 

@@ -1,9 +1,12 @@
 package kshape
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/sieve-microservices/sieve/internal/parallel"
 )
 
 // Silhouette computes the mean silhouette coefficient of an assignment
@@ -82,6 +85,15 @@ type SweepResult struct {
 // sufficient for components with up to 300 metrics. names, when non-nil,
 // seeds the initial assignments by metric-name similarity.
 func ChooseK(series [][]float64, names []string, kMin, kMax int, seed int64) (*SweepResult, error) {
+	return ChooseKContext(context.Background(), series, names, kMin, kMax, seed, 1)
+}
+
+// ChooseKContext is ChooseK with cancellation and a worker pool: the
+// per-k clustering runs fan out to `workers` goroutines (0 means
+// GOMAXPROCS, <1 clamps to 1). Each candidate k keeps its own fixed seed
+// and the winner is selected in ascending-k order afterwards, so the
+// result is identical to the sequential sweep at any worker count.
+func ChooseKContext(ctx context.Context, series [][]float64, names []string, kMin, kMax int, seed int64, workers int) (*SweepResult, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, errors.New("kshape: no series")
@@ -108,30 +120,50 @@ func ChooseK(series [][]float64, names []string, kMin, kMax int, seed int64) (*S
 		return &SweepResult{Result: res, Silhouette: 0, Scores: map[int]float64{1: 0}}, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// The distance matrix is independent of k; compute it once.
 	dist, err := PairwiseSBD(normalizeAll(series))
 	if err != nil {
 		return nil, err
 	}
 
-	best := &SweepResult{Silhouette: math.Inf(-1), Scores: map[int]float64{}}
-	for k := kMin; k <= kMax; k++ {
-		opts := Options{K: k, Seed: seed, Restarts: 3}
+	// Sweep the candidate cluster counts concurrently; each attempt
+	// writes only its own slot, keeping the merge deterministic.
+	type attempt struct {
+		res   *Result
+		score float64
+	}
+	attempts := make([]attempt, kMax-kMin+1)
+	err = parallel.ForEach(ctx, workers, len(attempts), func(_ context.Context, i int) error {
+		opts := Options{K: kMin + i, Seed: seed, Restarts: 3}
 		if names != nil {
-			opts.InitialAssignments = NameSeeds(names, k)
+			opts.InitialAssignments = NameSeeds(names, opts.K)
 		}
 		res, err := Cluster(series, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		score, err := Silhouette(dist, res.Assignments)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		best.Scores[k] = score
-		if score > best.Silhouette {
-			best.Silhouette = score
-			best.Result = res
+		attempts[i] = attempt{res: res, score: score}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	best := &SweepResult{Silhouette: math.Inf(-1), Scores: map[int]float64{}}
+	for i, a := range attempts {
+		k := kMin + i
+		best.Scores[k] = a.score
+		if a.score > best.Silhouette {
+			best.Silhouette = a.score
+			best.Result = a.res
 		}
 	}
 	return best, nil

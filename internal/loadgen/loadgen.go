@@ -9,6 +9,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -166,7 +167,17 @@ func SyntheticSessions(seed int64, envelope Pattern, maxConcurrent int, perUserR
 // non-nil) after every step — the hook where experiments scrape metrics,
 // evaluate SLAs, or run the autoscaler.
 func Drive(a *app.App, p Pattern, onTick func(tick int, nowMS int64)) {
+	DriveContext(context.Background(), a, p, onTick)
+}
+
+// DriveContext is Drive with cancellation: it stops stepping the
+// application as soon as the context is done, leaving the remainder of
+// the pattern unapplied.
+func DriveContext(ctx context.Context, a *app.App, p Pattern, onTick func(tick int, nowMS int64)) {
 	for i, rps := range p {
+		if ctx.Err() != nil {
+			return
+		}
 		a.Step(rps)
 		if onTick != nil {
 			onTick(i, a.Now())

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			counts := make([]int32, n)
+			err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("task %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("ForEach with 0 tasks: %v", err)
+	}
+}
+
+func TestForEachDeterministicMerge(t *testing.T) {
+	const n = 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := make([]int, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var started int32
+	err := ForEach(context.Background(), 2, 1000, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return boom
+		}
+		// Siblings should observe the cancellation instead of draining the
+		// whole queue.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := atomic.LoadInt32(&started); n > 10 {
+		t.Errorf("%d tasks started after failure; dispatch did not stop", n)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	errA := errors.New("task 3")
+	errB := errors.New("task 47")
+	for round := 0; round < 20; round++ {
+		err := ForEach(context.Background(), 8, 48, func(_ context.Context, i int) error {
+			switch i {
+			case 3:
+				// Fail late, so the higher-index failure is observed first.
+				time.Sleep(10 * time.Millisecond)
+				return errA
+			case 47:
+				return errB
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("round %d: err = %v, want the lowest-index failure %v", round, err, errA)
+		}
+	}
+}
+
+func TestForEachRealErrorBeatsCancellationEcho(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 8, 16, func(ctx context.Context, i int) error {
+		if i == 10 {
+			return boom
+		}
+		// Lower-index siblings echo the cancellation that the real
+		// failure triggered; they must not mask it.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+			return nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestForEachCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEach(ctx, 4, 100, func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachCancelAfterLastTaskStillSucceeds(t *testing.T) {
+	// A cancellation racing the very end of the run must not discard a
+	// fully computed result set — the sequential loop would have
+	// finished too.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 32
+	var done int32
+	err := ForEach(ctx, 4, n, func(_ context.Context, i int) error {
+		if atomic.AddInt32(&done, 1) == n {
+			cancel()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil: every task completed before the cancellation", err)
+	}
+}
+
+func TestForEachCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEach(ctx, 2, 1000, func(_ context.Context, i int) error {
+		if atomic.AddInt32(&ran, 1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1000 {
+		t.Errorf("all %d tasks ran despite cancellation", n)
+	}
+}

@@ -1,0 +1,86 @@
+package sieve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// runShareLatexArtifact runs the full pipeline on a fresh ShareLatex
+// simulation (deterministic for the fixed seeds) at the given worker
+// count and returns the serialized artifact.
+func runShareLatexArtifact(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	app, err := NewShareLatex(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultPipelineOptions()
+	opts.Parallelism = parallelism
+	artifact, _, err := Run(app, RandomLoad(7, 120, 200, 1800), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalArtifact(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRunParallelismDeterminism asserts the concurrent executor is
+// invisible in the output: Run with Parallelism 1, 4, and GOMAXPROCS
+// produces byte-identical artifacts on a ShareLatex capture.
+func TestRunParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs")
+	}
+	sequential := runShareLatexArtifact(t, 1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := runShareLatexArtifact(t, par); !bytes.Equal(sequential, got) {
+			t.Errorf("parallelism %d: artifact differs from sequential (%d vs %d bytes)",
+				par, len(got), len(sequential))
+		}
+	}
+}
+
+// TestRunContextCancellation asserts context.Canceled surfaces promptly
+// from mid-pipeline: the capture stage is canceled a few ticks in, and
+// the simulation must not have drained the (huge) remaining pattern.
+func TestRunContextCancellation(t *testing.T) {
+	app, err := NewShareLatex(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAt = 10
+	opts := DefaultPipelineOptions()
+	opts.Parallelism = 4
+	opts.Capture.OnTick = func(tick int, _ int64) {
+		if tick == cancelAt {
+			cancel()
+		}
+	}
+	_, _, err = RunContext(ctx, app, ConstantLoad(500, 100000), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextPreCanceled asserts an already-canceled context returns
+// immediately without running any stage.
+func TestRunContextPreCanceled(t *testing.T) {
+	app, err := NewShareLatex(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = RunContext(ctx, app, ConstantLoad(500, 100), DefaultPipelineOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

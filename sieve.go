@@ -42,6 +42,8 @@
 package sieve
 
 import (
+	"context"
+
 	"github.com/sieve-microservices/sieve/internal/app"
 	"github.com/sieve-microservices/sieve/internal/app/openstack"
 	"github.com/sieve-microservices/sieve/internal/app/sharelatex"
@@ -197,7 +199,9 @@ func WorldCupLoad(seed int64, ticks int, baseRPS, peakRPS float64) Pattern {
 
 // DefaultPipelineOptions returns the paper's parameters: scrape every
 // tick, variance threshold 0.002, k in [2,7] with name seeding, 500 ms
-// delay bound, alpha 0.05.
+// delay bound, alpha 0.05. The Parallelism knob is left at 0, meaning
+// the analysis stages fan out to runtime.GOMAXPROCS(0) workers; results
+// are bit-identical at any worker count, so this only affects speed.
 func DefaultPipelineOptions() PipelineOptions {
 	return PipelineOptions{Reduce: core.DefaultReduceOptions()}
 }
@@ -207,9 +211,21 @@ func Capture(a *App, pattern Pattern, opts CaptureOptions) (*CaptureResult, erro
 	return core.Capture(a, pattern, opts)
 }
 
+// CaptureContext is Capture with cancellation: ctx is checked every
+// simulation tick.
+func CaptureContext(ctx context.Context, a *App, pattern Pattern, opts CaptureOptions) (*CaptureResult, error) {
+	return core.CaptureContext(ctx, a, pattern, opts)
+}
+
 // Reduce performs pipeline step 2 only.
 func Reduce(ds *Dataset, opts ReduceOptions) (Reduction, error) {
 	return core.Reduce(ds, opts)
+}
+
+// ReduceContext is Reduce with cancellation and a worker pool sized by
+// opts.Parallelism (one task per component).
+func ReduceContext(ctx context.Context, ds *Dataset, opts ReduceOptions) (Reduction, error) {
+	return core.ReduceContext(ctx, ds, opts)
 }
 
 // IdentifyDependencies performs pipeline step 3 only.
@@ -217,9 +233,23 @@ func IdentifyDependencies(ds *Dataset, red Reduction, opts DepOptions) (*Depende
 	return core.IdentifyDependencies(ds, red, opts)
 }
 
+// IdentifyDependenciesContext is IdentifyDependencies with cancellation
+// and a worker pool sized by opts.Parallelism (one task per
+// communicating component pair).
+func IdentifyDependenciesContext(ctx context.Context, ds *Dataset, red Reduction, opts DepOptions) (*DependencyGraph, error) {
+	return core.IdentifyDependenciesContext(ctx, ds, red, opts)
+}
+
 // Run executes the full three-step pipeline.
 func Run(a *App, pattern Pattern, opts PipelineOptions) (*Artifact, *CaptureResult, error) {
 	return core.Run(a, pattern, opts)
+}
+
+// RunContext is Run with cancellation: ctx is threaded through all three
+// stages, and the PipelineOptions.Parallelism knob sizes the worker
+// pools of the analysis stages (0 = GOMAXPROCS).
+func RunContext(ctx context.Context, a *App, pattern Pattern, opts PipelineOptions) (*Artifact, *CaptureResult, error) {
+	return core.RunContext(ctx, a, pattern, opts)
 }
 
 // MarshalArtifact serializes an artifact to a versioned JSON form for
