@@ -1,0 +1,63 @@
+// Command sieved is the long-running Sieve server: sharded line-protocol
+// ingestion over HTTP plus an online pipeline that re-runs metric
+// reduction and Granger dependency analysis over a sliding window of the
+// ingested data, keeping the autoscaling signal fresh.
+//
+// Usage:
+//
+//	sieved [-addr :8086] [-shards N] [-window 240s] [-interval 30s]
+//	       [-step 500ms] [-app NAME] [-parallelism N]
+//
+// Quickstart against a running instance:
+//
+//	curl -X POST --data-binary 'web,metric=cpu value=0.5 500' http://localhost:8086/write
+//	curl http://localhost:8086/stats
+//	curl http://localhost:8086/artifact
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/sieve-microservices/sieve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8086", "listen address")
+	shards := flag.Int("shards", 0, "store shard count (0 = GOMAXPROCS)")
+	window := flag.Duration("window", 240*time.Second, "sliding analysis window")
+	interval := flag.Duration("interval", 30*time.Second, "pipeline recompute cadence")
+	step := flag.Duration("step", 500*time.Millisecond, "analysis sampling grid")
+	appName := flag.String("app", "sieved", "application label on artifacts")
+	parallelism := flag.Int("parallelism", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opts := sieve.ServerOptions{
+		AppName:     *appName,
+		Shards:      *shards,
+		StepMS:      step.Milliseconds(),
+		WindowMS:    window.Milliseconds(),
+		Interval:    *interval,
+		Parallelism: *parallelism,
+	}
+	srv, err := sieve.NewServer(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("sieved listening on %s (%d shards, window %s, interval %s)\n",
+		*addr, srv.Store().NumShards(), *window, *interval)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

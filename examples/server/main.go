@@ -1,0 +1,100 @@
+// Server: run sieved in-process on a loopback listener, drive the
+// ShareLatex simulator against it over real HTTP — every scrape becomes
+// a line-protocol POST /write — then force a pipeline run and poll
+// /artifact for the live reduction, dependency graph, and autoscaling
+// signal, exactly the loop a production deployment would run.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/sieve-microservices/sieve"
+)
+
+func main() {
+	// Boot sieved on a loopback port. In a real deployment this is the
+	// standalone `sieved` binary; here we embed it so the example is one
+	// process.
+	srv, err := sieve.NewServer(sieve.ServerOptions{
+		AppName:  "sharelatex",
+		WindowMS: 240 * 500, // slide over the last 240 ticks
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("sieved listening on", base)
+
+	// The application under observation: the simulated ShareLatex
+	// deployment, with a syscall tracer attached for the call graph.
+	app, err := sieve.NewShareLatex(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := sieve.NewTracer(0, nil)
+	app.AttachTracer(tracer)
+
+	// Point a collector at the server's HTTP client: from here on, every
+	// scrape ships over the wire like a Telegraf agent would.
+	client := sieve.NewServerClient(base)
+	coll, err := sieve.NewMetricCollector(client, app.Registries()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive a 240-tick randomized load session, scraping every tick.
+	fmt.Println("driving load session over HTTP...")
+	pattern := sieve.RandomLoad(7, 240, 200, 2500)
+	if err := sieve.DriveLoad(context.Background(), app, pattern, coll, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Upload the observed topology so Granger testing is restricted to
+	// communicating component pairs.
+	if err := client.PostCallGraph(sieve.CallGraphFromSyscalls(tracer.Events())); err != nil {
+		log.Fatal(err)
+	}
+
+	// Normally the background driver recomputes every interval; force a
+	// run so the example is deterministic and fast.
+	info, err := client.RunPipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline run %d: window [%d,%d)ms, %d series -> %d clusters, %d edges (%.1fs)\n",
+		info.Generation, info.Start, info.End, info.Series, info.Clusters, info.Edges,
+		info.Elapsed.Seconds())
+
+	// Poll /artifact like an autoscaler sidecar would.
+	for i := 0; i < 10; i++ {
+		res, err := client.Artifact()
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		fmt.Printf("artifact generation %d: %d -> %d metrics, %d dependency edges\n",
+			res.Generation,
+			res.Artifact.Reduction.TotalBefore(), res.Artifact.Reduction.TotalAfter(),
+			len(res.Artifact.Graph.Edges))
+		fmt.Printf("autoscaling signal: %s (%d Granger relations)\n",
+			res.Signal.Metric, res.Signal.Relations)
+		break
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d points in %d series across %d shards, %d writes, %d KB in\n",
+		stats.Points, stats.Series, stats.Shards, stats.Writes, stats.NetworkInBytes/1024)
+}

@@ -1,0 +1,152 @@
+package sieve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// ingestPointsPerBatch is the size of one pre-encoded write batch:
+// 16 components x 8 metrics, about the shape of one collector scrape.
+const ingestPointsPerBatch = 16 * 8
+
+// ingestPayloads pre-encodes 256 line-protocol batches spread over 32
+// component namespaces (4096 distinct series), so concurrent writers hit
+// different shards instead of convoying on one series.
+func ingestPayloads() [][]byte {
+	const batches, comps, mets = 256, 16, 8
+	payloads := make([][]byte, batches)
+	samples := make([]tsdb.Sample, 0, comps*mets)
+	for i := range payloads {
+		samples = samples[:0]
+		for c := 0; c < comps; c++ {
+			for m := 0; m < mets; m++ {
+				samples = append(samples, tsdb.Sample{
+					Component: fmt.Sprintf("comp-%03d-%02d", i%32, c),
+					Metric:    fmt.Sprintf("metric_%02d", m),
+					T:         int64(i) * 500,
+					V:         float64(i*c) + float64(m)*0.25,
+				})
+			}
+		}
+		payloads[i] = tsdb.EncodeLineProtocol(samples)
+	}
+	return payloads
+}
+
+// ingestRow is one BENCH_ingest.json entry.
+type ingestRow struct {
+	Name         string  `json:"name"`
+	Shards       int     `json:"shards"`
+	PointsPerOp  int     `json:"points_per_op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+var ingestBench struct {
+	sync.Mutex
+	rows map[string]ingestRow
+}
+
+// flushIngestJSON rewrites BENCH_ingest.json from the accumulated rows
+// so the ingestion-throughput trajectory is tracked across PRs. Rows are
+// emitted in fixed case order.
+func flushIngestJSON(order []string) {
+	ingestBench.Lock()
+	defer ingestBench.Unlock()
+	var rows []ingestRow
+	for _, name := range order {
+		if r, ok := ingestBench.rows[name]; ok {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := struct {
+		Benchmark  string      `json:"benchmark"`
+		GoMaxProcs int         `json:"gomaxprocs"`
+		GoVersion  string      `json:"go_version"`
+		Results    []ingestRow `json:"results"`
+	}{
+		Benchmark:  "BenchmarkShardedIngest",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Results:    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile("BENCH_ingest.json", append(data, '\n'), 0o644)
+}
+
+// BenchmarkShardedIngest compares concurrent line-protocol write
+// throughput of the single-mutex DB against the sharded store at
+// increasing shard counts. Every variant stores identical points (pinned
+// by TestShardedMatchesDBAtAnyShardCount in internal/tsdb); only lock
+// contention changes. Results are also written to BENCH_ingest.json.
+func BenchmarkShardedIngest(b *testing.B) {
+	payloads := ingestPayloads()
+	type tc struct {
+		name   string
+		shards int // 0 marks the plain DB baseline
+	}
+	cases := []tc{{"db-single-mutex", 0}, {"shards=1", 1}, {"shards=2", 2}, {"shards=4", 4}, {"shards=8", 8}}
+	if p := runtime.GOMAXPROCS(0); p > 8 {
+		cases = append(cases, tc{fmt.Sprintf("shards=%d", p), p})
+	}
+	order := make([]string, len(cases))
+	for i, c := range cases {
+		order[i] = c.name
+	}
+
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var store tsdb.Store
+			if c.shards == 0 {
+				store = tsdb.New()
+			} else {
+				store = tsdb.NewSharded(c.shards)
+			}
+			var idx atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p := payloads[int(idx.Add(1))%len(payloads)]
+					if _, err := store.Write(p); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed <= 0 {
+				return
+			}
+			pps := float64(ingestPointsPerBatch) * float64(b.N) / elapsed
+			b.ReportMetric(pps, "points/s")
+			ingestBench.Lock()
+			if ingestBench.rows == nil {
+				ingestBench.rows = map[string]ingestRow{}
+			}
+			ingestBench.rows[c.name] = ingestRow{
+				Name:         c.name,
+				Shards:       c.shards,
+				PointsPerOp:  ingestPointsPerBatch,
+				NsPerOp:      b.Elapsed().Seconds() * 1e9 / float64(b.N),
+				PointsPerSec: pps,
+			}
+			ingestBench.Unlock()
+		})
+	}
+	flushIngestJSON(order)
+}

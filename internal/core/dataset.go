@@ -170,9 +170,10 @@ func CaptureContext(ctx context.Context, a *app.App, pattern loadgen.Pattern, op
 	return &CaptureResult{Dataset: ds, DB: db, Collector: coll, Tracer: tr}, nil
 }
 
-// DatasetFromDB reads every series in the store, resamples it onto the
-// given grid, and assembles a Dataset (without a call graph).
-func DatasetFromDB(db *tsdb.DB, appName string, stepMS, start, end int64) (*Dataset, error) {
+// DatasetFromDB reads every series in the store — any tsdb.ReadStore,
+// including the sharded server store — resamples it onto the given grid,
+// and assembles a Dataset (without a call graph).
+func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) (*Dataset, error) {
 	if end <= start {
 		return nil, fmt.Errorf("core: empty capture window [%d,%d)", start, end)
 	}

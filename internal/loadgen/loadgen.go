@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/metrics"
 )
 
 // Pattern is a load trace: external requests/second applied at each
@@ -183,6 +184,36 @@ func DriveContext(ctx context.Context, a *app.App, p Pattern, onTick func(tick i
 			onTick(i, a.Now())
 		}
 	}
+}
+
+// DriveCollector replays a pattern against an application while scraping
+// every scrapeEvery ticks (<= 0 means every tick) through the collector —
+// the wiring that lets a simulator feed a local store or, with a
+// collector pointed at the sieved HTTP client, a remote server over real
+// HTTP. It stops on the first scrape error or when ctx is done.
+func DriveCollector(ctx context.Context, a *app.App, p Pattern, coll *metrics.Collector, scrapeEvery int) error {
+	if coll == nil {
+		return fmt.Errorf("loadgen: nil collector")
+	}
+	if scrapeEvery <= 0 {
+		scrapeEvery = 1
+	}
+	driveCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var scrapeErr error
+	DriveContext(driveCtx, a, p, func(tick int, nowMS int64) {
+		if scrapeErr != nil || tick%scrapeEvery != 0 {
+			return
+		}
+		if _, err := coll.ScrapeOnce(nowMS); err != nil {
+			scrapeErr = fmt.Errorf("loadgen: scrape at tick %d: %w", tick, err)
+			cancel()
+		}
+	})
+	if scrapeErr != nil {
+		return scrapeErr
+	}
+	return ctx.Err()
 }
 
 // RallyResult summarizes a Rally-style task run.

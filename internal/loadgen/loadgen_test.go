@@ -1,10 +1,15 @@
 package loadgen
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/sieve-microservices/sieve/internal/app/openstack"
+	"github.com/sieve-microservices/sieve/internal/metrics"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
 func TestConstantAndSteps(t *testing.T) {
@@ -160,5 +165,85 @@ func TestBootAndDeleteFailsOnFaultyCloud(t *testing.T) {
 	}
 	if res.String() == "" {
 		t.Error("empty summary")
+	}
+}
+
+// failingWriter rejects every write after the first n.
+type failingWriter struct {
+	db    *tsdb.DB
+	okay  int
+	calls int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls > f.okay {
+		return 0, fmt.Errorf("writer down")
+	}
+	return f.db.Write(p)
+}
+
+func TestDriveCollectorScrapesEveryTick(t *testing.T) {
+	a, err := openstack.New(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tsdb.New()
+	coll, err := metrics.NewCollector(db, a.Registries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DriveCollector(context.Background(), a, Constant(100, 20), coll, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := coll.Stats().Scrapes; got != 20 {
+		t.Fatalf("scrapes = %d, want 20", got)
+	}
+	if db.Stats().Points == 0 {
+		t.Fatal("no points shipped")
+	}
+	if err := DriveCollector(context.Background(), a, Constant(100, 20), nil, 1); err == nil {
+		t.Fatal("nil collector must be rejected")
+	}
+}
+
+func TestDriveCollectorStopsOnScrapeError(t *testing.T) {
+	a, err := openstack.New(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &failingWriter{db: tsdb.New(), okay: 5}
+	coll, err := metrics.NewCollector(fw, a.Registries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = DriveCollector(context.Background(), a, Constant(100, 50), coll, 1)
+	if err == nil || !strings.Contains(err.Error(), "writer down") {
+		t.Fatalf("err = %v, want scrape failure", err)
+	}
+	// The drive loop must stop soon after the failure, not burn through
+	// the whole pattern.
+	if fw.calls > 7 {
+		t.Fatalf("writer called %d times after failing at call 6", fw.calls)
+	}
+}
+
+func TestDriveCollectorHonorsContext(t *testing.T) {
+	a, err := openstack.New(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tsdb.New()
+	coll, err := metrics.NewCollector(db, a.Registries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := DriveCollector(ctx, a, Constant(100, 20), coll, 1); err == nil {
+		t.Fatal("cancelled context must surface")
+	}
+	if got := coll.Stats().Scrapes; got != 0 {
+		t.Fatalf("scrapes after pre-cancelled drive = %d", got)
 	}
 }

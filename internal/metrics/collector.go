@@ -8,13 +8,16 @@ import (
 )
 
 // Collector scrapes a set of registries and ships the readings to a tsdb
-// store over the line-protocol wire format, mirroring the paper's
-// Telegraf -> InfluxDB pipeline. An optional allowlist restricts which
-// series are shipped; Sieve installs its representative-metric set here to
-// realize the Table 3 overhead reduction.
+// writer over the line-protocol wire format, mirroring the paper's
+// Telegraf -> InfluxDB pipeline. The writer can be an in-process store
+// (tsdb.DB, tsdb.Sharded) or the sieved HTTP client, so the same
+// collector drives both the offline pipeline and a remote server. An
+// optional allowlist restricts which series are shipped; Sieve installs
+// its representative-metric set here to realize the Table 3 overhead
+// reduction.
 type Collector struct {
 	targets []*Registry
-	db      *tsdb.DB
+	db      tsdb.Writer
 	// allow, when non-nil, keeps only listed "component/metric" keys.
 	allow map[string]bool
 
@@ -24,7 +27,7 @@ type Collector struct {
 }
 
 // NewCollector creates a collector shipping to db.
-func NewCollector(db *tsdb.DB, targets ...*Registry) (*Collector, error) {
+func NewCollector(db tsdb.Writer, targets ...*Registry) (*Collector, error) {
 	if db == nil {
 		return nil, errors.New("metrics: nil db")
 	}
@@ -70,6 +73,12 @@ func (c *Collector) ScrapeOnce(nowMS int64) (int, error) {
 	c.bytesOut += len(payload)
 	c.scrapes++
 
+	// A scrape can legitimately yield nothing (an allowlist matching no
+	// current series); skip the wire round-trip rather than ship an
+	// empty payload remote writers reject.
+	if len(samples) == 0 {
+		return 0, nil
+	}
 	n, err := c.db.Write(payload)
 	if err != nil {
 		return 0, err

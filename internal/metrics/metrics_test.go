@@ -192,3 +192,26 @@ func TestKindString(t *testing.T) {
 		t.Error("unknown kind formatting")
 	}
 }
+
+// TestScrapeOnceEmptyAllowlistSkipsWrite: an allowlist matching nothing
+// must not ship an empty payload (remote writers reject empty bodies).
+func TestScrapeOnceEmptyAllowlistSkipsWrite(t *testing.T) {
+	db := tsdb.New()
+	web := NewRegistry("web")
+	web.Gauge("cpu").Set(0.5)
+	c, err := NewCollector(db, web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAllowlist([]string{"nothing/matches"})
+	n, err := c.ScrapeOnce(500)
+	if err != nil || n != 0 {
+		t.Fatalf("ScrapeOnce = %d, %v; want 0, nil", n, err)
+	}
+	if got := c.Stats().Scrapes; got != 1 {
+		t.Fatalf("scrapes = %d, want 1", got)
+	}
+	if got := db.Stats().NetworkInBytes; got != 0 {
+		t.Fatalf("empty scrape shipped %d wire bytes", got)
+	}
+}

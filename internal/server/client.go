@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// Client speaks the sieved HTTP API. It implements tsdb.Writer, so a
+// metrics.Collector pointed at a Client ships its scrapes over real HTTP
+// instead of into an in-process store — the wiring that lets the bundled
+// application simulators drive a sieved server end to end.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ tsdb.Writer = (*Client)(nil)
+
+// apiError carries the HTTP status of a failed call so callers can
+// distinguish "not yet" (404) from real failures.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// NewClient creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8086").
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// do issues a request and decodes the 2xx JSON body into out (skipped
+// when out is nil); non-2xx responses become errors carrying the
+// server's message.
+func (c *Client) do(method, path string, contentType string, body []byte, out any) error {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var je struct {
+			Error string `json:"error"`
+		}
+		detail := resp.Status
+		if json.Unmarshal(msg, &je) == nil && je.Error != "" {
+			detail = je.Error + " (" + resp.Status + ")"
+		}
+		return &apiError{status: resp.StatusCode, msg: fmt.Sprintf("server: %s %s: %s", method, path, detail)}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if h, ok := out.(*http.Header); ok {
+		*h = resp.Header.Clone()
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Write ships a line-protocol payload to POST /write and returns the
+// number of samples the server stored (tsdb.Writer).
+func (c *Client) Write(payload []byte) (int, error) {
+	var h http.Header
+	if err := c.do(http.MethodPost, "/write", "text/plain; charset=utf-8", payload, &h); err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(h.Get("X-Sieve-Samples"))
+	if err != nil {
+		return 0, fmt.Errorf("server: missing X-Sieve-Samples ack header")
+	}
+	return n, nil
+}
+
+// WriteSamples encodes and ships decoded samples.
+func (c *Client) WriteSamples(samples []tsdb.Sample) (int, error) {
+	return c.Write(tsdb.EncodeLineProtocol(samples))
+}
+
+// PostCallGraph uploads (replacing) the server's component topology.
+func (c *Client) PostCallGraph(g *callgraph.Graph) error {
+	var edges []CallEdge
+	for _, e := range g.Edges() {
+		edges = append(edges, CallEdge{Caller: e.Caller, Callee: e.Callee, Calls: e.Calls})
+	}
+	body, err := json.Marshal(edges)
+	if err != nil {
+		return err
+	}
+	return c.do(http.MethodPost, "/callgraph", "application/json", body, nil)
+}
+
+// RunPipeline forces one synchronous pipeline run.
+func (c *Client) RunPipeline() (*RunInfo, error) {
+	var info RunInfo
+	if err := c.do(http.MethodPost, "/run", "", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var st StatsResponse
+	if err := c.do(http.MethodGet, "/stats", "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Query reads one series' points with T in [from, to).
+func (c *Client) Query(component, metric string, from, to int64) ([]tsdb.Point, error) {
+	q := url.Values{}
+	q.Set("component", component)
+	q.Set("metric", metric)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("to", strconv.FormatInt(to, 10))
+	var resp QueryResponse
+	if err := c.do(http.MethodGet, "/query?"+q.Encode(), "", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// ArtifactResult is a fetched artifact: the decoded pipeline output plus
+// the envelope metadata.
+type ArtifactResult struct {
+	Generation  int64
+	WindowStart int64
+	WindowEnd   int64
+	Signal      Signal
+	Artifact    *core.Artifact
+}
+
+// ErrNoArtifact reports that the server has not completed a pipeline run
+// yet.
+var ErrNoArtifact = errors.New("server: no artifact published yet")
+
+// Artifact fetches and decodes the latest artifact.
+func (c *Client) Artifact() (*ArtifactResult, error) {
+	var env ArtifactEnvelope
+	if err := c.do(http.MethodGet, "/artifact", "", nil, &env); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.status == http.StatusNotFound {
+			return nil, ErrNoArtifact
+		}
+		return nil, err
+	}
+	art, err := core.UnmarshalArtifact(env.Artifact)
+	if err != nil {
+		return nil, fmt.Errorf("server: decoding artifact: %w", err)
+	}
+	return &ArtifactResult{
+		Generation:  env.Generation,
+		WindowStart: env.WindowStart,
+		WindowEnd:   env.WindowEnd,
+		Signal:      env.Signal,
+		Artifact:    art,
+	}, nil
+}
+
+// ListenAndServe binds addr, starts the background pipeline driver, and
+// serves HTTP until ctx is done, then shuts down gracefully. It is the
+// cmd/sieved entry point; tests use Handler with httptest instead.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serveListener(ctx, ln)
+}
+
+func (s *Server) serveListener(ctx context.Context, ln net.Listener) error {
+	s.Start(ctx)
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+		<-errc
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/core"
+)
+
+// ErrNoData reports that the store does not yet hold enough data to
+// cover a meaningful analysis window; the background driver treats it as
+// "try again next tick", POST /run surfaces it as 409.
+var ErrNoData = errors.New("server: not enough ingested data for a pipeline run")
+
+// RunInfo summarizes one completed pipeline run (also the POST /run
+// response body).
+type RunInfo struct {
+	// Generation increments on every published artifact.
+	Generation int64 `json:"generation"`
+	// Start and End bound the analysis window in ingest-time ms.
+	Start int64 `json:"window_start_ms"`
+	End   int64 `json:"window_end_ms"`
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Series is the number of series analyzed, Clusters the reduced
+	// metric count, Edges the dependency count.
+	Series   int `json:"series"`
+	Clusters int `json:"clusters"`
+	Edges    int `json:"edges"`
+}
+
+// snapshotGraph returns the current topology, or an empty graph when
+// none was configured or uploaded (the pipeline then reduces metrics but
+// infers no dependencies).
+func (s *Server) snapshotGraph() *callgraph.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.graph == nil {
+		return callgraph.New()
+	}
+	return s.graph
+}
+
+// RunPipelineOnce executes one windowed pipeline cycle: slide the window
+// to the store's high-water mark, assemble a dataset from the sharded
+// store, run Reduce + Granger with the configured parallelism, and
+// publish the new artifact. Runs are serialized; readers keep seeing the
+// previous artifact until the new one is swapped in.
+func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	started := time.Now()
+
+	hi := s.store.MaxTime()
+	if hi == 0 {
+		return nil, fmt.Errorf("%w: store is empty", ErrNoData)
+	}
+	lo := hi - s.opts.WindowMS
+	if lo < 0 {
+		lo = 0
+	}
+	end := hi + 1 // window is [lo, hi] inclusive of the newest point
+	if got := (hi - lo) / s.opts.StepMS; got < int64(s.opts.MinWindowSamples) {
+		return nil, fmt.Errorf("%w: window spans %d of %d required grid steps",
+			ErrNoData, got, s.opts.MinWindowSamples)
+	}
+
+	ds, err := core.DatasetFromDB(s.store, s.opts.AppName, s.opts.StepMS, lo, end)
+	if err != nil {
+		return nil, s.recordErr(fmt.Errorf("assembling window dataset: %w", err))
+	}
+	ds.CallGraph = s.snapshotGraph()
+
+	red, err := core.ReduceContext(ctx, ds, *s.opts.Reduce)
+	if err != nil {
+		return nil, s.recordErr(fmt.Errorf("reduce: %w", err))
+	}
+	graph, err := core.IdentifyDependenciesContext(ctx, ds, red, s.opts.Deps)
+	if err != nil {
+		return nil, s.recordErr(fmt.Errorf("identify dependencies: %w", err))
+	}
+	art := &core.Artifact{App: s.opts.AppName, Dataset: ds, Reduction: red, Graph: graph}
+	data, err := core.MarshalArtifact(art)
+	if err != nil {
+		return nil, s.recordErr(fmt.Errorf("marshaling artifact: %w", err))
+	}
+
+	info := RunInfo{
+		Generation: s.generation.Add(1),
+		Start:      lo,
+		End:        end,
+		Elapsed:    time.Since(started),
+		Series:     ds.TotalMetrics(),
+		Clusters:   red.TotalAfter(),
+		Edges:      len(graph.Edges),
+	}
+	// The autoscaling signal only changes when the artifact does;
+	// compute it once here instead of on every /artifact poll.
+	metric, relations := graph.MostFrequentMetric()
+
+	s.runs.Add(1)
+	s.mu.Lock()
+	s.artifact = art
+	s.artifactJSON = data
+	s.signal = Signal{Metric: metric, Relations: relations}
+	s.lastRun = info
+	s.lastErr = ""
+	s.mu.Unlock()
+	return &info, nil
+}
+
+// recordErr remembers the failure for /stats and passes it through.
+func (s *Server) recordErr(err error) error {
+	s.mu.Lock()
+	s.lastErr = err.Error()
+	s.mu.Unlock()
+	return err
+}
+
+// Start launches the background driver: one pipeline run every
+// opts.Interval until ctx is done. ErrNoData ticks are silently skipped
+// (the window just has not filled yet); other errors are kept for
+// /stats. Start returns immediately.
+func (s *Server) Start(ctx context.Context) {
+	go func() {
+		ticker := time.NewTicker(s.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if _, err := s.RunPipelineOnce(ctx); err != nil && ctx.Err() != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Artifact returns the latest published artifact (nil before the first
+// completed run) and its run info.
+func (s *Server) Artifact() (*core.Artifact, RunInfo) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.artifact, s.lastRun
+}

@@ -1,0 +1,373 @@
+// Package server turns the batch Sieve pipeline into a long-running
+// service: sieved. It exposes the InfluxDB-style line protocol over HTTP
+// (POST /write), backed by the hash-partitioned tsdb.Sharded store so
+// concurrent writers scale with cores, and keeps the pipeline's Artifact
+// fresh by re-running Reduce + Granger over a sliding time window of the
+// ingested data (the online driver in online.go). The latest artifact —
+// with the live autoscaling signal from MostFrequentMetric — is served
+// from GET /artifact.
+//
+// Endpoints:
+//
+//	POST /write      line-protocol batch; 204 + X-Sieve-Samples on success
+//	GET  /query      ?component=&metric=&from=&to= -> JSON points
+//	GET  /stats      store + server counters
+//	GET  /artifact   latest pipeline output (404 until the first run)
+//	POST /callgraph  JSON [{"caller","callee","calls"}] topology upload
+//	POST /run        force one synchronous pipeline run
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// Options configures a Server.
+type Options struct {
+	// AppName labels produced artifacts (default "sieved").
+	AppName string
+	// Shards is the store partition count; 0 means GOMAXPROCS.
+	Shards int
+	// StepMS is the analysis sampling grid (default 500, the paper's
+	// discretization).
+	StepMS int64
+	// WindowMS is the width of the sliding analysis window: each
+	// pipeline run covers the most recent WindowMS of ingested data
+	// (default 240000 = 480 grid steps).
+	WindowMS int64
+	// Interval is the cadence of the background pipeline driver started
+	// by Start (default 30s).
+	Interval time.Duration
+	// MinWindowSamples is the minimum number of grid steps the window
+	// must span before the pipeline runs (default 64; Granger needs a
+	// non-trivial series length).
+	MinWindowSamples int
+	// Parallelism sizes the analysis worker pools (0 = GOMAXPROCS).
+	Parallelism int
+	// Reduce overrides the step-2 options; nil means the paper's
+	// defaults (core.DefaultReduceOptions, including name seeding). A
+	// non-nil value is used exactly as given.
+	Reduce *core.ReduceOptions
+	// Deps overrides the step-3 options; the zero value means the
+	// paper's defaults.
+	Deps core.DepOptions
+	// CallGraph, when non-nil, is the static component topology used to
+	// restrict Granger testing. It can also be uploaded (or replaced)
+	// at runtime via POST /callgraph. With no topology at all the
+	// pipeline still runs, producing an empty dependency graph.
+	CallGraph *callgraph.Graph
+	// MaxBodyBytes bounds a single /write payload (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.AppName == "" {
+		o.AppName = "sieved"
+	}
+	if o.StepMS <= 0 {
+		o.StepMS = 500
+	}
+	if o.WindowMS <= 0 {
+		o.WindowMS = 480 * o.StepMS
+	}
+	if o.Interval <= 0 {
+		o.Interval = 30 * time.Second
+	}
+	if o.MinWindowSamples <= 0 {
+		o.MinWindowSamples = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.Reduce == nil {
+		d := core.DefaultReduceOptions()
+		o.Reduce = &d
+	} else {
+		cp := *o.Reduce
+		o.Reduce = &cp
+	}
+	if o.Reduce.Parallelism == 0 {
+		o.Reduce.Parallelism = o.Parallelism
+	}
+	if o.Deps.Parallelism == 0 {
+		o.Deps.Parallelism = o.Parallelism
+	}
+	return o
+}
+
+// Server is the sieved daemon: sharded ingestion plus the online
+// windowed pipeline.
+type Server struct {
+	opts  Options
+	store *tsdb.Sharded
+	mux   *http.ServeMux
+
+	// Ingest counters (atomics: the write path must not serialize).
+	writes      atomic.Int64
+	writeErrors atomic.Int64
+	samples     atomic.Int64
+
+	// mu guards the published artifact and the topology.
+	mu           sync.RWMutex
+	graph        *callgraph.Graph
+	artifact     *core.Artifact
+	artifactJSON json.RawMessage
+	signal       Signal
+	lastRun      RunInfo
+	lastErr      string
+
+	// runMu serializes pipeline runs (driver tick vs POST /run).
+	runMu      sync.Mutex
+	generation atomic.Int64
+	runs       atomic.Int64
+}
+
+// New creates a Server with its backing sharded store.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.StepMS > opts.WindowMS {
+		return nil, fmt.Errorf("server: step %dms exceeds window %dms", opts.StepMS, opts.WindowMS)
+	}
+	s := &Server{
+		opts:  opts,
+		store: tsdb.NewSharded(opts.Shards),
+		graph: opts.CallGraph,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /write", s.handleWrite)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /artifact", s.handleArtifact)
+	mux.HandleFunc("POST /callgraph", s.handleCallGraph)
+	mux.HandleFunc("POST /run", s.handleRun)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the backing sharded store (read-mostly: stats, queries).
+func (s *Server) Store() *tsdb.Sharded { return s.store }
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	if err != nil {
+		s.writeErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.opts.MaxBodyBytes {
+		s.writeErrors.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge, "payload exceeds %d bytes", s.opts.MaxBodyBytes)
+		return
+	}
+	if len(body) == 0 {
+		s.writeErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "empty body")
+		return
+	}
+	n, err := s.store.Write(body)
+	if err != nil {
+		s.writeErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writes.Add(1)
+	s.samples.Add(int64(n))
+	w.Header().Set("X-Sieve-Samples", strconv.Itoa(n))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// QueryResponse is the GET /query body.
+type QueryResponse struct {
+	Component string       `json:"component"`
+	Metric    string       `json:"metric"`
+	Points    []tsdb.Point `json:"points"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	component, metric := q.Get("component"), q.Get("metric")
+	if component == "" || metric == "" {
+		httpError(w, http.StatusBadRequest, "component and metric query parameters are required")
+		return
+	}
+	parse := func(key string, fallback int64) (int64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return fallback, nil
+		}
+		return strconv.ParseInt(v, 10, 64)
+	}
+	from, err := parse("from", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, err := parse("to", s.store.MaxTime()+1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	pts, err := s.store.Query(component, metric, from, to)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, QueryResponse{Component: component, Metric: metric, Points: pts})
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	App      string `json:"app"`
+	Shards   int    `json:"shards"`
+	StepMS   int64  `json:"step_ms"`
+	WindowMS int64  `json:"window_ms"`
+
+	Points          int   `json:"points"`
+	Series          int   `json:"series"`
+	StorageBytes    int   `json:"storage_bytes"`
+	NetworkInBytes  int   `json:"network_in_bytes"`
+	NetworkOutBytes int   `json:"network_out_bytes"`
+	IngestCPUMS     int64 `json:"ingest_cpu_ms"`
+	MaxTimeMS       int64 `json:"max_time_ms"`
+
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	Samples     int64 `json:"samples"`
+
+	Generation   int64  `json:"generation"`
+	PipelineRuns int64  `json:"pipeline_runs"`
+	LastError    string `json:"last_error,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	s.mu.RLock()
+	lastErr := s.lastErr
+	s.mu.RUnlock()
+	writeJSON(w, StatsResponse{
+		App:             s.opts.AppName,
+		Shards:          s.store.NumShards(),
+		StepMS:          s.opts.StepMS,
+		WindowMS:        s.opts.WindowMS,
+		Points:          st.Points,
+		Series:          st.Series,
+		StorageBytes:    st.StorageBytes,
+		NetworkInBytes:  st.NetworkInBytes,
+		NetworkOutBytes: st.NetworkOutBytes,
+		IngestCPUMS:     st.IngestCPU.Milliseconds(),
+		MaxTimeMS:       s.store.MaxTime(),
+		Writes:          s.writes.Load(),
+		WriteErrors:     s.writeErrors.Load(),
+		Samples:         s.samples.Load(),
+		Generation:      s.generation.Load(),
+		PipelineRuns:    s.runs.Load(),
+		LastError:       lastErr,
+	})
+}
+
+// Signal is the live autoscaling signal derived from the dependency
+// graph: the metric appearing in the most Granger relations (§4.1).
+type Signal struct {
+	Metric    string `json:"metric"`
+	Relations int    `json:"relations"`
+}
+
+// ArtifactEnvelope is the GET /artifact body: the serialized artifact
+// plus the run metadata and the live autoscaling signal.
+type ArtifactEnvelope struct {
+	Generation  int64           `json:"generation"`
+	App         string          `json:"app"`
+	WindowStart int64           `json:"window_start_ms"`
+	WindowEnd   int64           `json:"window_end_ms"`
+	ElapsedMS   int64           `json:"elapsed_ms"`
+	Signal      Signal          `json:"signal"`
+	Artifact    json.RawMessage `json:"artifact"`
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.artifactJSON == nil {
+		httpError(w, http.StatusNotFound, "no artifact yet: the pipeline has not completed a run")
+		return
+	}
+	writeJSON(w, ArtifactEnvelope{
+		Generation:  s.lastRun.Generation,
+		App:         s.opts.AppName,
+		WindowStart: s.lastRun.Start,
+		WindowEnd:   s.lastRun.End,
+		ElapsedMS:   s.lastRun.Elapsed.Milliseconds(),
+		Signal:      s.signal,
+		Artifact:    s.artifactJSON,
+	})
+}
+
+// CallEdge is one edge of an uploaded topology.
+type CallEdge struct {
+	Caller string `json:"caller"`
+	Callee string `json:"callee"`
+	Calls  int    `json:"calls"`
+}
+
+func (s *Server) handleCallGraph(w http.ResponseWriter, r *http.Request) {
+	var edges []CallEdge
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&edges); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding call graph: %v", err)
+		return
+	}
+	g := callgraph.New()
+	for _, e := range edges {
+		n := e.Calls
+		if n <= 0 {
+			n = 1
+		}
+		g.AddCall(e.Caller, e.Callee, n)
+	}
+	s.mu.Lock()
+	s.graph = g
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	info, err := s.RunPipelineOnce(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNoData):
+			status = http.StatusConflict
+		case r.Context().Err() != nil:
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, info)
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/app/sharelatex"
+	"github.com/sieve-microservices/sieve/internal/callgraph"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+	"github.com/sieve-microservices/sieve/internal/metrics"
+	"github.com/sieve-microservices/sieve/internal/trace"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs, NewClient(hs.URL)
+}
+
+// chainSpec is a small three-component topology for fast server tests.
+func chainSpec() app.Spec {
+	return app.Spec{
+		Name:   "chain",
+		TickMS: 500,
+		Components: []app.ComponentSpec{
+			{
+				Name: "lb", Addr: "10.9.0.1:80", ServiceMS: 2, CapacityPerInstance: 4000,
+				Entry: true, Calls: []app.Call{{Target: "api", Prob: 1}},
+				Families: []app.Family{
+					{Base: "lb_rate", Driver: app.DriverRate, Noise: 0.02, Variants: []string{"mean", "p95"}},
+					{Base: "lb_latency_ms", Driver: app.DriverLatency, Noise: 0.02},
+				},
+			},
+			{
+				Name: "api", Addr: "10.9.0.2:8080", ServiceMS: 8, CapacityPerInstance: 2000,
+				Calls: []app.Call{{Target: "db", Prob: 0.9}},
+				Families: []app.Family{
+					{Base: "api_rate", Driver: app.DriverRate, Noise: 0.02},
+					{Base: "api_util", Driver: app.DriverUtil, Noise: 0.02},
+				},
+			},
+			{
+				Name: "db", Addr: "10.9.0.3:5432", ServiceMS: 5, CapacityPerInstance: 1500,
+				Families: []app.Family{
+					{Base: "db_rate", Driver: app.DriverRate, Noise: 0.03},
+					{Base: "db_latency_ms", Driver: app.DriverOwnLatency, Noise: 0.03},
+				},
+			},
+		},
+	}
+}
+
+// driveOverHTTP runs a load session against the app, shipping every
+// scrape through the client's /write and uploading the traced call
+// graph, exactly as an external deployment would.
+func driveOverHTTP(t *testing.T, a *app.App, pattern loadgen.Pattern, c *Client) {
+	t.Helper()
+	tr := trace.NewTracer(1<<18, nil)
+	a.AttachTracer(tr)
+	coll, err := metrics.NewCollector(c, a.Registries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadgen.DriveCollector(context.Background(), a, pattern, coll, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PostCallGraph(callgraph.FromSyscallEvents(tr.Events())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerEndToEndShareLatex is the acceptance path: boot sieved on a
+// loopback listener, drive a ShareLatex load session through HTTP
+// /write, and assert /artifact returns a non-empty reduction and
+// dependency graph with a live autoscaling signal.
+func TestServerEndToEndShareLatex(t *testing.T) {
+	_, _, c := newTestServer(t, Options{AppName: "sharelatex"})
+
+	if _, err := c.Artifact(); !errors.Is(err, ErrNoArtifact) {
+		t.Fatalf("artifact before any run: err = %v, want ErrNoArtifact", err)
+	}
+
+	a, err := sharelatex.New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOverHTTP(t, a, loadgen.Random(7, 150, 200, 2500), c)
+
+	info, err := c.RunPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 1 || info.Series == 0 || info.Clusters == 0 {
+		t.Fatalf("run info = %+v", info)
+	}
+
+	res, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := res.Artifact
+	if art.Reduction.TotalBefore() == 0 || art.Reduction.TotalAfter() == 0 {
+		t.Fatalf("empty reduction: %d -> %d", art.Reduction.TotalBefore(), art.Reduction.TotalAfter())
+	}
+	if art.Reduction.TotalAfter() >= art.Reduction.TotalBefore() {
+		t.Fatalf("reduction did not reduce: %d -> %d",
+			art.Reduction.TotalBefore(), art.Reduction.TotalAfter())
+	}
+	if len(art.Graph.Edges) == 0 {
+		t.Fatal("dependency graph is empty")
+	}
+	if res.Signal.Metric == "" || res.Signal.Relations == 0 {
+		t.Fatalf("no autoscaling signal: %+v", res.Signal)
+	}
+	if !strings.Contains(res.Signal.Metric, "/") {
+		t.Fatalf("signal %q is not a component/metric key", res.Signal.Metric)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points == 0 || st.Series == 0 || st.Writes < 150 || st.Generation != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The ingested series are queryable back out over HTTP.
+	e := art.Graph.Edges[0]
+	pts, err := c.Query(e.From, e.FromMetric, 0, st.MaxTimeMS+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatalf("query %s/%s returned no points", e.From, e.FromMetric)
+	}
+}
+
+// TestServerWindowSlides verifies the online driver's sliding window:
+// more ingest + another run advances the generation and the window end.
+func TestServerWindowSlides(t *testing.T) {
+	_, _, c := newTestServer(t, Options{
+		AppName:          "chain",
+		WindowMS:         50 * 500, // keep the window shorter than the session
+		MinWindowSamples: 32,
+	})
+	a, err := app.New(chainSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOverHTTP(t, a, loadgen.Random(5, 100, 100, 1500), c)
+	first, err := c.RunPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.End - first.Start; got > 50*500+1 {
+		t.Fatalf("window spans %dms, want <= %d", got, 50*500+1)
+	}
+
+	coll, err := metrics.NewCollector(c, a.Registries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadgen.DriveCollector(context.Background(), a, loadgen.Random(6, 60, 100, 1500), coll, 1); err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.RunPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Generation != first.Generation+1 {
+		t.Fatalf("generation = %d, want %d", second.Generation, first.Generation+1)
+	}
+	if second.End <= first.End || second.Start <= first.Start {
+		t.Fatalf("window did not slide: [%d,%d) then [%d,%d)",
+			first.Start, first.End, second.Start, second.End)
+	}
+
+	res, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != second.Generation {
+		t.Fatalf("artifact generation = %d, want %d", res.Generation, second.Generation)
+	}
+}
+
+// TestServerWithoutCallGraph: with no topology the pipeline still runs,
+// publishing a reduction with an empty dependency graph.
+func TestServerWithoutCallGraph(t *testing.T) {
+	_, _, c := newTestServer(t, Options{AppName: "chain", MinWindowSamples: 32})
+	a, err := app.New(chainSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := metrics.NewCollector(c, a.Registries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadgen.DriveCollector(context.Background(), a, loadgen.Random(5, 80, 100, 1500), coll, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunPipeline(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifact.Reduction.TotalAfter() == 0 {
+		t.Fatal("no reduction without a call graph")
+	}
+	if len(res.Artifact.Graph.Edges) != 0 {
+		t.Fatal("dependency edges without any call graph")
+	}
+}
+
+// TestServerMalformedRequests drives every malformed-input class at the
+// HTTP surface: the server must answer with a 4xx and keep serving,
+// never panic and never store partial garbage.
+func TestServerMalformedRequests(t *testing.T) {
+	s, hs, c := newTestServer(t, Options{MaxBodyBytes: 1 << 10})
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"write empty body", "POST", "/write", "", http.StatusBadRequest},
+		{"write garbage", "POST", "/write", "complete garbage", http.StatusBadRequest},
+		{"write missing timestamp", "POST", "/write", "web,metric=cpu value=1", http.StatusBadRequest},
+		{"write bad timestamp", "POST", "/write", "web,metric=cpu value=1 12h", http.StatusBadRequest},
+		{"write NaN value", "POST", "/write", "web,metric=cpu value=NaN 500", http.StatusBadRequest},
+		{"write infinite value", "POST", "/write", "web,metric=cpu value=+Inf 500", http.StatusBadRequest},
+		{"write empty component", "POST", "/write", ",metric=cpu value=1 500", http.StatusBadRequest},
+		{"write bad line in batch", "POST", "/write", "web,metric=cpu value=1 500\ngarbage", http.StatusBadRequest},
+		{"write oversized body", "POST", "/write", strings.Repeat("x", 2<<10), http.StatusRequestEntityTooLarge},
+		{"write wrong method", "GET", "/write", "", http.StatusMethodNotAllowed},
+		{"query missing params", "GET", "/query", "", http.StatusBadRequest},
+		{"query unknown series", "GET", "/query?component=no&metric=pe", "", http.StatusNotFound},
+		{"query bad from", "GET", "/query?component=a&metric=b&from=xyz", "", http.StatusBadRequest},
+		{"query bad to", "GET", "/query?component=a&metric=b&to=1.5", "", http.StatusBadRequest},
+		{"artifact before first run", "GET", "/artifact", "", http.StatusNotFound},
+		{"run with empty store", "POST", "/run", "", http.StatusConflict},
+		{"callgraph invalid json", "POST", "/callgraph", "{not json", http.StatusBadRequest},
+		{"callgraph wrong shape", "POST", "/callgraph", `{"caller":"a"}`, http.StatusBadRequest},
+		{"unknown path", "GET", "/nope", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, hs.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("%s %s -> %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+	if got := s.Store().Stats().Points; got != 0 {
+		t.Fatalf("malformed traffic stored %d points", got)
+	}
+	// The server survived all of it and still ingests good data.
+	if n, err := c.Write([]byte("web,metric=cpu value=0.5 500\n")); err != nil || n != 1 {
+		t.Fatalf("healthy write after abuse: n=%d err=%v", n, err)
+	}
+}
+
+// TestServerOptionValidation pins New's rejection of nonsense windows.
+func TestServerOptionValidation(t *testing.T) {
+	if _, err := New(Options{StepMS: 1000, WindowMS: 500}); err == nil {
+		t.Fatal("step > window must be rejected")
+	}
+}

@@ -47,6 +47,7 @@ type DB struct {
 	mu     sync.Mutex
 	data   map[string]*series // key: component/metric
 	stats  Stats
+	maxT   int64
 	sealed bool
 }
 
@@ -96,6 +97,20 @@ func (db *DB) WriteSamples(samples []Sample, wireBytes int) {
 	db.stats.IngestCPU += time.Since(start)
 }
 
+// appendSamples ingests decoded samples with point and CPU accounting
+// but no network accounting: the entry point used by Sharded, whose
+// front door owns the wire-level counters.
+func (db *DB) appendSamples(samples []Sample) {
+	start := time.Now()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range samples {
+		db.insertLocked(s)
+	}
+	db.stats.Points += len(samples)
+	db.stats.IngestCPU += time.Since(start)
+}
+
 func (db *DB) insertLocked(s Sample) {
 	key := s.Key()
 	sr := db.data[key]
@@ -105,9 +120,20 @@ func (db *DB) insertLocked(s Sample) {
 		db.stats.Series++
 	}
 	sr.tail = append(sr.tail, Point{T: s.T, V: s.V})
+	if s.T > db.maxT {
+		db.maxT = s.T
+	}
 	if len(sr.tail) >= blockSize {
 		db.sealLocked(sr)
 	}
+}
+
+// MaxTime returns the largest timestamp ingested so far (0 when empty),
+// the high-water mark sliding-window readers anchor to.
+func (db *DB) MaxTime() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.maxT
 }
 
 // sealLocked compresses the tail into a block. Errors (unordered

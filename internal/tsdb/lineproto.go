@@ -1,7 +1,9 @@
 package tsdb
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -49,23 +51,51 @@ func EncodeLineProtocol(samples []Sample) []byte {
 }
 
 // ParseLineProtocol decodes a batch encoded by EncodeLineProtocol. Blank
-// lines are ignored; any malformed line aborts with an error naming the
-// line number.
+// lines are ignored; any malformed line (including non-finite values,
+// which a store must never accept) aborts with an error naming the line
+// number.
+//
+// The payload is converted to a string once and scanned index-based from
+// there: component and metric names are substrings sharing that single
+// backing copy, and the output slice is pre-sized from the newline
+// count. Compared to the old strings.Split path this drops the per-line
+// slice (16 bytes/line) and all growth reallocations — a handful of
+// allocations per batch regardless of line count (see
+// BenchmarkParseLineProtocol).
 func ParseLineProtocol(data []byte) ([]Sample, error) {
-	var out []Sample
-	lines := strings.Split(string(data), "\n")
-	for i, line := range lines {
+	out := make([]Sample, 0, bytes.Count(data, []byte{'\n'})+1)
+	str := string(data)
+	lineNo := 0
+	for start := 0; start < len(str); {
+		lineNo++
+		var line string
+		if end := strings.IndexByte(str[start:], '\n'); end < 0 {
+			line = str[start:]
+			start = len(str)
+		} else {
+			line = str[start : start+end]
+			start += end + 1
+		}
 		if line == "" {
 			continue
 		}
 		s, err := parseLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("tsdb: line %d: %w", i+1, err)
+			return nil, fmt.Errorf("tsdb: line %d: %w", lineNo, err)
 		}
 		out = append(out, s)
 	}
 	return out, nil
 }
+
+var errNonFinite = fmt.Errorf("non-finite value")
+
+// maxTimestampMS bounds accepted timestamps (~35,000 years in ms). The
+// wire format is milliseconds; a value beyond this is unambiguously a
+// nanosecond/microsecond unit error (e.g. a Telegraf default), and
+// accepting one would permanently poison every store's MaxTime
+// high-water mark — and with it the server's sliding analysis window.
+const maxTimestampMS = int64(1) << 50
 
 func parseLine(line string) (Sample, error) {
 	var s Sample
@@ -73,7 +103,7 @@ func parseLine(line string) (Sample, error) {
 	if comma < 0 {
 		return s, fmt.Errorf("missing tag separator in %q", line)
 	}
-	s.Component = line[:comma]
+	component := line[:comma]
 	rest := line[comma+1:]
 	if !strings.HasPrefix(rest, "metric=") {
 		return s, fmt.Errorf("missing metric tag in %q", line)
@@ -83,7 +113,7 @@ func parseLine(line string) (Sample, error) {
 	if sp < 0 {
 		return s, fmt.Errorf("missing field section in %q", line)
 	}
-	s.Metric = rest[:sp]
+	metric := rest[:sp]
 	rest = rest[sp+1:]
 	if !strings.HasPrefix(rest, "value=") {
 		return s, fmt.Errorf("missing value field in %q", line)
@@ -97,13 +127,21 @@ func parseLine(line string) (Sample, error) {
 	if err != nil {
 		return s, fmt.Errorf("bad value: %w", err)
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return s, fmt.Errorf("%w %q", errNonFinite, rest[:sp])
+	}
 	t, err := strconv.ParseInt(rest[sp+1:], 10, 64)
 	if err != nil {
 		return s, fmt.Errorf("bad timestamp: %w", err)
 	}
-	if s.Component == "" || s.Metric == "" {
+	if t > maxTimestampMS {
+		return s, fmt.Errorf("timestamp %d exceeds the millisecond range (nanosecond unit error?)", t)
+	}
+	if component == "" || metric == "" {
 		return s, fmt.Errorf("empty component or metric in %q", line)
 	}
+	s.Component = component
+	s.Metric = metric
 	s.V = v
 	s.T = t
 	return s, nil

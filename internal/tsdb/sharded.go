@@ -1,0 +1,178 @@
+package tsdb
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Sharded is a hash-partitioned store: series keys are FNV-hashed onto N
+// independent DB shards, each with its own lock, so concurrent writers
+// contend only when they touch the same shard instead of serializing on
+// one global mutex. Every series lives entirely inside one shard, so
+// query results and stored points are identical to a single DB at any
+// shard count — sharding changes scheduling, never data.
+type Sharded struct {
+	shards []*DB
+
+	// Wire-level accounting lives at the front door (the shards see only
+	// decoded samples); atomics keep the hot write path lock-free here.
+	netIn     atomic.Int64
+	netOut    atomic.Int64
+	ingestCPU atomic.Int64 // nanoseconds spent parsing+partitioning
+}
+
+// NewSharded creates a store with n shards; n <= 0 uses GOMAXPROCS.
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Sharded{shards: make([]*DB, n)}
+	for i := range s.shards {
+		s.shards[i] = New()
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// shardIndex hashes a series key onto a shard (FNV-1a).
+func (s *Sharded) shardIndex(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// partition groups samples by destination shard with a counting sort
+// into one backing array (two allocations regardless of batch size),
+// preserving arrival order within each shard — and therefore within each
+// series, since a series maps to exactly one shard. parts[i] is a
+// sub-slice of the backing array; empty shards get a nil slice.
+func (s *Sharded) partition(samples []Sample) [][]Sample {
+	n := len(s.shards)
+	idx := make([]uint32, len(samples))
+	counts := make([]int, n+1)
+	for k, smp := range samples {
+		i := s.shardIndex(smp.Key())
+		idx[k] = uint32(i)
+		counts[i+1]++
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	backing := make([]Sample, len(samples))
+	next := make([]int, n)
+	copy(next, counts[:n])
+	for k, smp := range samples {
+		i := idx[k]
+		backing[next[i]] = smp
+		next[i]++
+	}
+	parts := make([][]Sample, n)
+	for i := 0; i < n; i++ {
+		if counts[i+1] > counts[i] {
+			parts[i] = backing[counts[i]:counts[i+1]]
+		}
+	}
+	return parts
+}
+
+func (s *Sharded) ingest(samples []Sample, wireBytes int, start time.Time) {
+	if len(s.shards) == 1 {
+		// Single shard: nothing to partition.
+		s.ingestCPU.Add(int64(time.Since(start)))
+		s.shards[0].appendSamples(samples)
+	} else {
+		parts := s.partition(samples)
+		s.ingestCPU.Add(int64(time.Since(start)))
+		for i, part := range parts {
+			if len(part) > 0 {
+				s.shards[i].appendSamples(part)
+			}
+		}
+	}
+	s.netIn.Add(int64(wireBytes))
+	s.netOut.Add(ackBytes)
+}
+
+// Write ingests a line-protocol payload, returning the number of samples
+// stored. Parsing and partitioning happen outside any shard lock.
+func (s *Sharded) Write(payload []byte) (int, error) {
+	start := time.Now()
+	samples, err := ParseLineProtocol(payload)
+	if err != nil {
+		return 0, err
+	}
+	s.ingest(samples, len(payload), start)
+	return len(samples), nil
+}
+
+// WriteSamples ingests already-decoded samples, accounting wireBytes as
+// network-in traffic.
+func (s *Sharded) WriteSamples(samples []Sample, wireBytes int) {
+	s.ingest(samples, wireBytes, time.Now())
+}
+
+// Query returns the points of component/metric with T in [from, to) from
+// the owning shard.
+func (s *Sharded) Query(component, metric string, from, to int64) ([]Point, error) {
+	return s.shards[s.shardIndex(component+"/"+metric)].Query(component, metric, from, to)
+}
+
+// SeriesKeys returns all component/metric keys across shards in sorted
+// order.
+func (s *Sharded) SeriesKeys() []string {
+	var keys []string
+	for _, sh := range s.shards {
+		keys = append(keys, sh.SeriesKeys()...)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MaxTime returns the largest timestamp ingested across shards (0 when
+// empty).
+func (s *Sharded) MaxTime() int64 {
+	var max int64
+	for _, sh := range s.shards {
+		if t := sh.MaxTime(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Flush seals every shard's tails so Stats reflects compressed storage.
+func (s *Sharded) Flush() {
+	for _, sh := range s.shards {
+		sh.Flush()
+	}
+}
+
+// Stats sums the per-shard accounting and adds the front door's wire
+// counters. Query-side network-out is charged inside the shards.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		out.Points += st.Points
+		out.Series += st.Series
+		out.StorageBytes += st.StorageBytes
+		out.NetworkInBytes += st.NetworkInBytes
+		out.NetworkOutBytes += st.NetworkOutBytes
+		out.IngestCPU += st.IngestCPU
+	}
+	out.NetworkInBytes += int(s.netIn.Load())
+	out.NetworkOutBytes += int(s.netOut.Load())
+	out.IngestCPU += time.Duration(s.ingestCPU.Load())
+	return out
+}

@@ -1,0 +1,44 @@
+package tsdb
+
+// Writer is the ingest half of a store: anything that accepts
+// line-protocol payloads. Both local stores (DB, Sharded) and the HTTP
+// client in internal/server implement it, so a metrics.Collector can ship
+// scrapes to an in-process store or across the network without changing.
+type Writer interface {
+	// Write ingests a line-protocol payload and returns the number of
+	// samples stored.
+	Write(payload []byte) (int, error)
+}
+
+// ReadStore is the query half of a store: what dataset assembly needs to
+// pull every series back out.
+type ReadStore interface {
+	// Query returns the points of component/metric with T in [from, to).
+	Query(component, metric string, from, to int64) ([]Point, error)
+	// SeriesKeys returns all component/metric keys in sorted order.
+	SeriesKeys() []string
+}
+
+// Store is the full surface shared by the single-mutex DB and the
+// sharded store: ingest, query, sealing, and resource accounting.
+type Store interface {
+	Writer
+	ReadStore
+	// WriteSamples ingests already-decoded samples, accounting wireBytes
+	// as network-in traffic.
+	WriteSamples(samples []Sample, wireBytes int)
+	// MaxTime returns the largest timestamp ingested so far, or 0 when
+	// the store is empty — the high-water mark windowed readers slide
+	// against.
+	MaxTime() int64
+	// Flush seals every series' tail so Stats reflects compressed
+	// storage.
+	Flush()
+	// Stats returns a snapshot of the accounting counters.
+	Stats() Stats
+}
+
+var (
+	_ Store = (*DB)(nil)
+	_ Store = (*Sharded)(nil)
+)

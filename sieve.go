@@ -30,6 +30,12 @@
 // the two evaluated applications (ShareLatex and OpenStack, the latter
 // with Launchpad bug #1533942 as a switchable fault).
 //
+// Beyond the paper's offline batch job, the module ships sieved
+// (NewServer, Serve): a long-running server with sharded line-protocol
+// ingestion over HTTP and an online driver that re-runs the analysis
+// over a sliding window, serving the latest Artifact — and the live
+// autoscaling signal — from its /artifact endpoint.
+//
 // # Quick start
 //
 //	app, _ := sieve.NewShareLatex(42)
@@ -53,7 +59,9 @@ import (
 	"github.com/sieve-microservices/sieve/internal/loadgen"
 	"github.com/sieve-microservices/sieve/internal/metrics"
 	"github.com/sieve-microservices/sieve/internal/rca"
+	"github.com/sieve-microservices/sieve/internal/server"
 	"github.com/sieve-microservices/sieve/internal/trace"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
 // App is a running microservice application simulation. It exposes
@@ -296,9 +304,73 @@ func RefineThresholds(metricValues, latencies []float64, slaMS float64) (up, dow
 	return autoscale.RefineThresholds(metricValues, latencies, slaMS)
 }
 
+// Server is the sieved daemon: sharded line-protocol ingestion over HTTP
+// plus an online pipeline that re-runs Reduce + Granger over a sliding
+// window of the ingested data and serves the latest Artifact (with the
+// live autoscaling signal) from /artifact.
+type Server = server.Server
+
+// ServerOptions configures a Server: shard count, sampling grid, window
+// width, recompute cadence, analysis parallelism, optional topology.
+type ServerOptions = server.Options
+
+// ServerClient speaks the sieved HTTP API. It implements the store's
+// Write contract, so a MetricCollector pointed at a client ships scrapes
+// to a remote server over real HTTP.
+type ServerClient = server.Client
+
+// ServerRunInfo summarizes one completed online pipeline run.
+type ServerRunInfo = server.RunInfo
+
+// NewServer creates a sieved server with its backing sharded store. Use
+// Server.ListenAndServe to serve (it also starts the online pipeline
+// driver), or Server.Handler to embed it in an existing HTTP server —
+// then start the driver with Server.Start or trigger runs via POST /run.
+func NewServer(opts ServerOptions) (*Server, error) {
+	return server.New(opts)
+}
+
+// Serve is the one-call entry point: it builds a server, starts the
+// online pipeline driver, and serves HTTP on addr until ctx is done.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	s, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+	return s.ListenAndServe(ctx, addr)
+}
+
+// NewServerClient creates a client for the sieved server at baseURL
+// (e.g. "http://127.0.0.1:8086").
+func NewServerClient(baseURL string) *ServerClient {
+	return server.NewClient(baseURL)
+}
+
 // MetricRegistry holds the exported metrics of one component (returned
 // by App.Registry).
 type MetricRegistry = metrics.Registry
+
+// MetricWriter accepts line-protocol payloads: an in-process store or a
+// ServerClient shipping over HTTP.
+type MetricWriter = tsdb.Writer
+
+// MetricCollector scrapes registries and ships the readings to a
+// MetricWriter, mirroring the paper's Telegraf -> InfluxDB pipeline.
+type MetricCollector = metrics.Collector
+
+// NewMetricCollector creates a collector shipping scrapes from the given
+// registries to w.
+func NewMetricCollector(w MetricWriter, registries ...*MetricRegistry) (*MetricCollector, error) {
+	return metrics.NewCollector(w, registries...)
+}
+
+// DriveLoad replays a load pattern against an application while scraping
+// its registries through coll every scrapeEvery ticks (<= 0 means every
+// tick) — pointed at a ServerClient, this drives a sieved server end to
+// end over real HTTP.
+func DriveLoad(ctx context.Context, a *App, p Pattern, coll *MetricCollector, scrapeEvery int) error {
+	return loadgen.DriveCollector(ctx, a, p, coll, scrapeEvery)
+}
 
 // MetricProbe reads one metric as an instantaneous signal, converting
 // counters to per-read deltas — the value stream scaling rules see.
