@@ -7,6 +7,12 @@
 //
 //	sieved [-addr :8086] [-shards N] [-window 240s] [-interval 30s]
 //	       [-step 500ms] [-app NAME] [-parallelism N]
+//	       [-data-dir DIR] [-retention 24h] [-fsync interval]
+//
+// With -data-dir the store is durable: writes go through a per-shard
+// write-ahead log and are periodically sealed into Gorilla-compressed
+// block files, so a restarted sieved serves the same data it was killed
+// with. An empty -data-dir (the default) keeps the pure in-memory store.
 //
 // Quickstart against a running instance:
 //
@@ -35,15 +41,23 @@ func main() {
 	step := flag.Duration("step", 500*time.Millisecond, "analysis sampling grid")
 	appName := flag.String("app", "sieved", "application label on artifacts")
 	parallelism := flag.Int("parallelism", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+	retention := flag.Duration("retention", 0, "drop on-disk blocks older than this much ingest time (0 = keep forever)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+	flushInterval := flag.Duration("flush-interval", 0, "block flush cadence (0 = default 60s)")
 	flag.Parse()
 
 	opts := sieve.ServerOptions{
-		AppName:     *appName,
-		Shards:      *shards,
-		StepMS:      step.Milliseconds(),
-		WindowMS:    window.Milliseconds(),
-		Interval:    *interval,
-		Parallelism: *parallelism,
+		AppName:       *appName,
+		Shards:        *shards,
+		StepMS:        step.Milliseconds(),
+		WindowMS:      window.Milliseconds(),
+		Interval:      *interval,
+		Parallelism:   *parallelism,
+		DataDir:       *dataDir,
+		Retention:     *retention,
+		Fsync:         *fsync,
+		FlushInterval: *flushInterval,
 	}
 	srv, err := sieve.NewServer(opts)
 	if err != nil {
@@ -54,8 +68,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("sieved listening on %s (%d shards, window %s, interval %s)\n",
-		*addr, srv.Store().NumShards(), *window, *interval)
+	durability := "in-memory"
+	if srv.Store().Durable() {
+		durability = fmt.Sprintf("durable at %s (fsync %s)", srv.Store().DataDir(), *fsync)
+		if pts := srv.Store().Stats().Points; pts > 0 {
+			fmt.Printf("recovered %d points from %s\n", pts, *dataDir)
+		}
+	}
+	fmt.Printf("sieved listening on %s (%d shards, window %s, interval %s, %s)\n",
+		*addr, srv.Store().NumShards(), *window, *interval, durability)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -1,8 +1,10 @@
-// Server: run sieved in-process on a loopback listener, drive the
-// ShareLatex simulator against it over real HTTP — every scrape becomes
-// a line-protocol POST /write — then force a pipeline run and poll
-// /artifact for the live reduction, dependency graph, and autoscaling
-// signal, exactly the loop a production deployment would run.
+// Server: run sieved in-process on a loopback listener with durable
+// storage, drive the ShareLatex simulator against it over real HTTP —
+// every scrape becomes a line-protocol POST /write covered by the
+// write-ahead log — then force a pipeline run and poll /artifact for the
+// live reduction, dependency graph, and autoscaling signal. Finally,
+// "restart" the server: shut it down, boot a fresh one on the same data
+// directory, and show that every ingested point survived.
 package main
 
 import (
@@ -11,29 +13,54 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"github.com/sieve-microservices/sieve"
 )
 
-func main() {
-	// Boot sieved on a loopback port. In a real deployment this is the
-	// standalone `sieved` binary; here we embed it so the example is one
-	// process.
+// boot starts an embedded sieved on a loopback port, persisting to dir.
+func boot(dir string) (*sieve.Server, *sieve.ServerClient, func(), error) {
 	srv, err := sieve.NewServer(sieve.ServerOptions{
 		AppName:  "sharelatex",
 		WindowMS: 240 * 500, // slide over the last 240 ticks
+		DataDir:  dir,       // WAL + compressed blocks under here
+		Fsync:    "interval",
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		_ = srv.Close() // release the durable store's WAL and tickers
+		return nil, nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		_ = srv.Close() // graceful: checkpoint memory into a block
+	}
+	return srv, sieve.NewServerClient("http://" + ln.Addr().String()), stop, nil
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "sieved-data-")
+	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = http.Serve(ln, srv.Handler()) }()
-	base := "http://" + ln.Addr().String()
-	fmt.Println("sieved listening on", base)
+	defer os.RemoveAll(dir)
+
+	// First life: boot sieved with a data directory. In a real deployment
+	// this is `sieved -data-dir /var/lib/sieved`; here we embed it so the
+	// example is one process.
+	_, client, stop, err := boot(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sieved up, persisting to", dir)
 
 	// The application under observation: the simulated ShareLatex
 	// deployment, with a syscall tracer attached for the call graph.
@@ -46,7 +73,6 @@ func main() {
 
 	// Point a collector at the server's HTTP client: from here on, every
 	// scrape ships over the wire like a Telegraf agent would.
-	client := sieve.NewServerClient(base)
 	coll, err := sieve.NewMetricCollector(client, app.Registries()...)
 	if err != nil {
 		log.Fatal(err)
@@ -76,25 +102,51 @@ func main() {
 		info.Elapsed.Seconds())
 
 	// Poll /artifact like an autoscaler sidecar would.
-	for i := 0; i < 10; i++ {
-		res, err := client.Artifact()
-		if err != nil {
-			time.Sleep(200 * time.Millisecond)
-			continue
-		}
-		fmt.Printf("artifact generation %d: %d -> %d metrics, %d dependency edges\n",
-			res.Generation,
-			res.Artifact.Reduction.TotalBefore(), res.Artifact.Reduction.TotalAfter(),
-			len(res.Artifact.Graph.Edges))
-		fmt.Printf("autoscaling signal: %s (%d Granger relations)\n",
-			res.Signal.Metric, res.Signal.Relations)
-		break
+	res, err := client.Artifact()
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("artifact generation %d: %d -> %d metrics, %d dependency edges\n",
+		res.Generation,
+		res.Artifact.Reduction.TotalBefore(), res.Artifact.Reduction.TotalAfter(),
+		len(res.Artifact.Graph.Edges))
+	fmt.Printf("autoscaling signal: %s (%d Granger relations)\n",
+		res.Signal.Metric, res.Signal.Relations)
 
-	stats, err := client.Stats()
+	before, err := client.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("server stats: %d points in %d series across %d shards, %d writes, %d KB in\n",
-		stats.Points, stats.Series, stats.Shards, stats.Writes, stats.NetworkInBytes/1024)
+		before.Points, before.Series, before.Shards, before.Writes, before.NetworkInBytes/1024)
+
+	// Restart: shut the server down (final checkpoint seals memory into a
+	// Gorilla block) and boot a fresh one on the same directory. Recovery
+	// happens inside NewServer, before the listener takes traffic.
+	fmt.Println("\nrestarting sieved on the same -data-dir...")
+	stop()
+	_, client2, stop2, err := boot(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop2()
+
+	after, err := client2.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d points in %d series (was %d in %d), max ingest time %dms\n",
+		after.Points, after.Series, before.Points, before.Series, after.MaxTimeMS)
+	if after.Points != before.Points || after.Series != before.Series {
+		log.Fatalf("restart lost data: %d/%d -> %d/%d points/series",
+			before.Points, before.Series, after.Points, after.Series)
+	}
+
+	// The recovered store serves the same points the first life stored.
+	pts, err := client2.Query("web", sieve.ShareLatexHubMetric, 0, after.MaxTimeMS+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query after restart: %d points of web/%s survived\n",
+		len(pts), sieve.ShareLatexHubMetric)
 }

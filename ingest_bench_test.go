@@ -95,13 +95,18 @@ func flushIngestJSON(order []string) {
 func BenchmarkShardedIngest(b *testing.B) {
 	payloads := ingestPayloads()
 	type tc struct {
-		name   string
-		shards int // 0 marks the plain DB baseline
+		name    string
+		shards  int  // 0 marks the plain DB baseline
+		durable bool // WAL-enabled store (tracks the durability overhead)
 	}
-	cases := []tc{{"db-single-mutex", 0}, {"shards=1", 1}, {"shards=2", 2}, {"shards=4", 4}, {"shards=8", 8}}
+	cases := []tc{{"db-single-mutex", 0, false}, {"shards=1", 1, false}, {"shards=2", 2, false}, {"shards=4", 4, false}, {"shards=8", 8, false}}
 	if p := runtime.GOMAXPROCS(0); p > 8 {
-		cases = append(cases, tc{fmt.Sprintf("shards=%d", p), p})
+		cases = append(cases, tc{fmt.Sprintf("shards=%d", p), p, false})
 	}
+	// WAL-enabled variant at the same shard count as the in-memory
+	// shards=4 row: the delta between the two is the WAL's ingest cost
+	// (encode + CRC + buffered write; fsync rides the background ticker).
+	cases = append(cases, tc{"shards=4+wal", 4, true})
 	order := make([]string, len(cases))
 	for i, c := range cases {
 		order[i] = c.name
@@ -110,9 +115,21 @@ func BenchmarkShardedIngest(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			var store tsdb.Store
-			if c.shards == 0 {
+			switch {
+			case c.durable:
+				ds, err := tsdb.OpenSharded(c.shards, tsdb.DurabilityOptions{
+					Dir:           b.TempDir(),
+					Fsync:         tsdb.FsyncInterval,
+					FlushInterval: -1, // measure the WAL alone, not block flushes
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ds.Close()
+				store = ds
+			case c.shards == 0:
 				store = tsdb.New()
-			} else {
+			default:
 				store = tsdb.NewSharded(c.shards)
 			}
 			var idx atomic.Int64

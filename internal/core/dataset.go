@@ -1,11 +1,3 @@
-// Package core orchestrates the three-step Sieve pipeline (§2.3): load
-// the application while recording metrics and the call graph (step 1),
-// reduce each component's metrics to representatives via variance
-// filtering and k-Shape clustering (step 2), and identify inter-component
-// dependencies with pairwise Granger-causality tests restricted to
-// communicating components (step 3). The pipeline's end product is an
-// Artifact — reductions plus a typed dependency graph — that the
-// autoscaling and RCA engines consume.
 package core
 
 import (

@@ -1,0 +1,21 @@
+// Package core orchestrates the three-step Sieve pipeline (§2.3): load
+// the application while recording metrics and the call graph (step 1,
+// Capture), reduce each component's metrics to representatives via
+// variance filtering and k-Shape clustering (step 2, Reduce), and
+// identify inter-component dependencies with pairwise Granger-causality
+// tests restricted to communicating components (step 3,
+// IdentifyDependencies). The pipeline's end product is an Artifact —
+// the windowed Dataset, per-component reductions, and a typed
+// dependency graph — that the autoscaling and RCA engines consume and
+// that marshal.go serializes for offline comparison.
+//
+// The Context variants of every stage (executor.go) add cancellation
+// and a deterministic worker pool sized by the Parallelism options:
+// Reduce fans out per component, IdentifyDependencies per communicating
+// pair, and results are bit-identical at any worker count.
+//
+// Batch mode drives all three steps from a simulated load session
+// (Run); online mode skips step 1 and assembles the Dataset from any
+// tsdb.ReadStore over a sliding window (DatasetFromDB), which is how
+// the sieved server re-runs steps 2-3 over live ingested data.
+package core

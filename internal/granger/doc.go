@@ -1,0 +1,22 @@
+// Package granger implements the Granger-causality machinery Sieve
+// uses to infer metric dependencies between communicating components
+// (§3.3). A metric X "Granger-causes" Y when the history of X improves
+// the prediction of Y beyond what Y's own history achieves; the
+// comparison is a nested-model F-test between
+//
+//	restricted:    y_t = a0 + Σ_{i=1..L} a_i·y_{t-i}
+//	unrestricted:  y_t = a0 + Σ_{i=1..L} a_i·y_{t-i} + Σ_{i=1..L} b_i·x_{t-i}
+//
+// over lags L up to the configured delay bound (the paper uses 500 ms
+// of grid steps). Non-stationary inputs (detected with the Augmented
+// Dickey-Fuller test) are first-differenced, since the F-test finds
+// spurious regressions on unit-root series (Granger & Newbold 1974).
+// Bidirectional results are treated as spurious — a hidden confounder
+// driving both metrics — and filtered by the caller via Direction.
+//
+// Direction is the entry point the pipeline's step 3 calls once per
+// (representative metric, representative metric) pair of communicating
+// components: it runs Test both ways and returns the winning causality
+// with the lag and F-test p-value that become a DependencyEdge in the
+// artifact's graph.
+package granger

@@ -1,17 +1,3 @@
-// Package granger implements the Granger-causality machinery Sieve uses
-// to infer metric dependencies between communicating components (§3.3).
-// A metric X "Granger-causes" Y when the history of X improves the
-// prediction of Y beyond what Y's own history achieves; the comparison is
-// a nested-model F-test between
-//
-//	restricted:    y_t = a0 + Σ_{i=1..L} a_i·y_{t-i}
-//	unrestricted:  y_t = a0 + Σ_{i=1..L} a_i·y_{t-i} + Σ_{i=1..L} b_i·x_{t-i}
-//
-// Non-stationary inputs (detected with the Augmented Dickey-Fuller test)
-// are first-differenced, since the F-test finds spurious regressions on
-// unit-root series (Granger & Newbold 1974). Bidirectional results are
-// treated as spurious (a hidden confounder) and filtered by the caller
-// via Direction.
 package granger
 
 import (

@@ -1,10 +1,3 @@
-// Package kshape implements the k-Shape time-series clustering algorithm
-// (Paparrizos & Gravano, SIGMOD 2015) that Sieve uses to reduce each
-// component's metrics to a handful of representative ones (§3.2), together
-// with the pieces the paper layers on top: silhouette-based selection of
-// the cluster count, metric-name seeding of the initial assignment, and
-// the Adjusted Mutual Information score used to evaluate clustering
-// consistency across runs (Fig. 3).
 package kshape
 
 import (

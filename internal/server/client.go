@@ -207,11 +207,15 @@ func (s *Server) serveListener(ctx context.Context, ln net.Listener) error {
 		defer cancel()
 		_ = hs.Shutdown(sctx)
 		<-errc
-		return nil
+		// Graceful shutdown: with a durable store, checkpoint remaining
+		// memory into a block and close the WAL — only after no request
+		// can write anymore.
+		return s.Close()
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
+		_ = s.Close()
 		return err
 	}
 }

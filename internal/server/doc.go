@@ -1,0 +1,31 @@
+// Package server turns the batch Sieve pipeline into a long-running
+// service: sieved. It exposes the InfluxDB-style line protocol over
+// HTTP (POST /write), backed by the hash-partitioned tsdb.Sharded store
+// so concurrent writers scale with cores, and keeps the pipeline's
+// Artifact fresh by re-running Reduce + Granger over a sliding time
+// window of the ingested data (the online driver in online.go). The
+// latest artifact — with the live autoscaling signal from
+// MostFrequentMetric — is served from GET /artifact.
+//
+// Endpoints:
+//
+//	POST /write      line-protocol batch; 204 + X-Sieve-Samples on success
+//	GET  /query      ?component=&metric=&from=&to= -> JSON points
+//	GET  /stats      store + server counters
+//	GET  /artifact   latest pipeline output (404 until the first run)
+//	POST /callgraph  JSON [{"caller","callee","calls"}] topology upload
+//	POST /run        force one synchronous pipeline run
+//
+// # Durability
+//
+// With Options.DataDir set, the store is the durable engine of
+// internal/tsdb: every acknowledged write is covered by a per-shard
+// write-ahead log, a background flusher seals memory into immutable
+// Gorilla-compressed blocks, and Options.Retention bounds disk use. New
+// recovers the previous life's data — block files plus WAL replay —
+// before the server takes traffic, so a restarted sieved anchors its
+// sliding analysis window at the recovered high-water mark and answers
+// /query byte-identically to the store that was killed. ListenAndServe
+// checkpoints and closes the store on graceful shutdown; embedders
+// using Handler call Server.Close themselves.
+package server

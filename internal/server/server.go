@@ -1,20 +1,3 @@
-// Package server turns the batch Sieve pipeline into a long-running
-// service: sieved. It exposes the InfluxDB-style line protocol over HTTP
-// (POST /write), backed by the hash-partitioned tsdb.Sharded store so
-// concurrent writers scale with cores, and keeps the pipeline's Artifact
-// fresh by re-running Reduce + Granger over a sliding time window of the
-// ingested data (the online driver in online.go). The latest artifact —
-// with the live autoscaling signal from MostFrequentMetric — is served
-// from GET /artifact.
-//
-// Endpoints:
-//
-//	POST /write      line-protocol batch; 204 + X-Sieve-Samples on success
-//	GET  /query      ?component=&metric=&from=&to= -> JSON points
-//	GET  /stats      store + server counters
-//	GET  /artifact   latest pipeline output (404 until the first run)
-//	POST /callgraph  JSON [{"caller","callee","calls"}] topology upload
-//	POST /run        force one synchronous pipeline run
 package server
 
 import (
@@ -69,6 +52,26 @@ type Options struct {
 	CallGraph *callgraph.Graph
 	// MaxBodyBytes bounds a single /write payload (default 32 MiB).
 	MaxBodyBytes int64
+
+	// DataDir, when non-empty, makes the store durable: every write is
+	// appended to a per-shard CRC-checked WAL under DataDir before it is
+	// acknowledged, a background flusher seals memory into immutable
+	// Gorilla-compressed block directories, and New recovers the
+	// previous life's data (blocks + WAL replay) before the server takes
+	// traffic. Empty keeps today's pure in-memory store.
+	DataDir string
+	// Retention drops on-disk blocks whose newest point is more than
+	// this much ingest time behind the store's high-water mark (0 keeps
+	// everything). Only meaningful with DataDir.
+	Retention time.Duration
+	// Fsync is the WAL fsync policy: "interval" (default; background
+	// fsync every 200ms), "always" (fsync per write batch), or "never"
+	// (leave it to the OS). Only meaningful with DataDir.
+	Fsync string
+	// FlushInterval is the cadence of the background block flusher
+	// (default 60s; negative disables it, leaving checkpoints to
+	// shutdown). Only meaningful with DataDir.
+	FlushInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -133,15 +136,36 @@ type Server struct {
 	runs       atomic.Int64
 }
 
-// New creates a Server with its backing sharded store.
+// New creates a Server with its backing sharded store. With
+// Options.DataDir set the store is durable: New recovers the previous
+// life's blocks and WAL before returning, so the server answers /query
+// identically to the store that was killed.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.StepMS > opts.WindowMS {
 		return nil, fmt.Errorf("server: step %dms exceeds window %dms", opts.StepMS, opts.WindowMS)
 	}
+	var store *tsdb.Sharded
+	if opts.DataDir != "" {
+		policy, err := tsdb.ParseFsyncPolicy(opts.Fsync)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		store, err = tsdb.OpenSharded(opts.Shards, tsdb.DurabilityOptions{
+			Dir:           opts.DataDir,
+			Fsync:         policy,
+			FlushInterval: opts.FlushInterval,
+			RetentionMS:   opts.Retention.Milliseconds(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening durable store: %w", err)
+		}
+	} else {
+		store = tsdb.NewSharded(opts.Shards)
+	}
 	s := &Server{
 		opts:  opts,
-		store: tsdb.NewSharded(opts.Shards),
+		store: store,
 		graph: opts.CallGraph,
 	}
 	mux := http.NewServeMux()
@@ -155,11 +179,18 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler (for tests and embedding).
+// Handler returns the HTTP handler (for tests and embedding). Embedders
+// of a durable server must call Close when done serving.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Store exposes the backing sharded store (read-mostly: stats, queries).
 func (s *Server) Store() *tsdb.Sharded { return s.store }
+
+// Close flushes and closes a durable store (final checkpoint: remaining
+// memory is sealed into a block, the WAL pruned). No-op for an
+// in-memory server; safe to call twice. ListenAndServe calls it on
+// graceful shutdown.
+func (s *Server) Close() error { return s.store.Close() }
 
 // httpError writes a JSON error body with the given status.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -235,7 +266,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	pts, err := s.store.Query(component, metric, from, to)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		// Only "never heard of that series" is a 404; anything else
+		// (corrupt chunk, I/O failure) is a storage error the client
+		// must not mistake for absence.
+		if errors.Is(err, tsdb.ErrUnknownSeries) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	writeJSON(w, QueryResponse{Component: component, Metric: metric, Points: pts})
@@ -247,6 +285,8 @@ type StatsResponse struct {
 	Shards   int    `json:"shards"`
 	StepMS   int64  `json:"step_ms"`
 	WindowMS int64  `json:"window_ms"`
+	DataDir  string `json:"data_dir,omitempty"`
+	Durable  bool   `json:"durable"`
 
 	Points          int   `json:"points"`
 	Series          int   `json:"series"`
@@ -275,6 +315,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:          s.store.NumShards(),
 		StepMS:          s.opts.StepMS,
 		WindowMS:        s.opts.WindowMS,
+		DataDir:         s.store.DataDir(),
+		Durable:         s.store.Durable(),
 		Points:          st.Points,
 		Series:          st.Series,
 		StorageBytes:    st.StorageBytes,

@@ -1,9 +1,3 @@
-// Package tsdb is the time-series store backing Sieve's monitoring plane,
-// standing in for InfluxDB in the paper's pipeline. It speaks a
-// line-protocol wire format, compresses series with the Gorilla scheme
-// (delta-of-delta timestamps, XOR values), and meters the resources the
-// paper's Table 3 reports: ingest CPU time, stored bytes, and network
-// bytes in/out.
 package tsdb
 
 import (

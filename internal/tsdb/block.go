@@ -1,0 +1,320 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Block directory layout. A checkpoint writes one immutable directory per
+// flushed time range:
+//
+//	blocks/
+//	  b-00000001-0-119999/      b-<seq>-<minT>-<maxT>
+//	    meta.json               block-level metadata (time range, counts)
+//	    index.json              series key -> []chunkRef into chunks.dat
+//	    chunks.dat              CRC-framed Gorilla chunks, back to back
+//
+// Directories are written under a tmp- prefix and renamed into place, so
+// a crash mid-flush leaves only a tmp- directory that the next open
+// removes; the data it would have held is still replayable from the WAL,
+// whose segments are deleted only after the rename succeeds.
+
+const (
+	blockMetaName   = "meta.json"
+	blockIndexName  = "index.json"
+	blockChunksName = "chunks.dat"
+	blockTmpPrefix  = "tmp-"
+	// chunkHeader is [4B payload length][4B CRC-32C], as in the WAL.
+	chunkHeader = 8
+	// maxChunkPoints bounds points per Gorilla chunk so a narrow query
+	// does not decompress an arbitrarily large run of one series.
+	maxChunkPoints = 4096
+)
+
+// blockMeta is the persisted meta.json.
+type blockMeta struct {
+	Version    int    `json:"version"`
+	Seq        uint64 `json:"seq"`
+	MinT       int64  `json:"min_t"`
+	MaxT       int64  `json:"max_t"`
+	Points     int    `json:"points"`
+	Series     int    `json:"series"`
+	ChunkBytes int64  `json:"chunk_bytes"`
+	// WALCuts records, per shard index, the first WAL segment NOT
+	// covered by this block: the block holds every record of that
+	// shard's lower-numbered segments. Recovery prunes those segments
+	// even when the writing checkpoint crashed before deleting them.
+	WALCuts map[string]uint64 `json:"wal_cuts,omitempty"`
+}
+
+// chunkRef locates one Gorilla chunk of one series inside chunks.dat.
+type chunkRef struct {
+	// Offset is the file offset of the chunk's 8-byte frame header.
+	Offset int64 `json:"offset"`
+	// Length is the framed payload length in bytes.
+	Length int   `json:"length"`
+	Count  int   `json:"count"`
+	MinT   int64 `json:"min_t"`
+	MaxT   int64 `json:"max_t"`
+}
+
+// blockIndex is the persisted index.json.
+type blockIndex struct {
+	Series map[string][]chunkRef `json:"series"`
+}
+
+// block is one opened immutable block: meta and index in memory, chunk
+// payloads read on demand.
+type block struct {
+	dir   string
+	meta  blockMeta
+	index map[string][]chunkRef
+	f     *os.File // chunks.dat, kept open for ReadAt
+}
+
+// blockDirName formats a block directory name; the time range is in the
+// name purely for operators, meta.json is authoritative.
+func blockDirName(seq uint64, minT, maxT int64) string {
+	return fmt.Sprintf("b-%08d-%d-%d", seq, minT, maxT)
+}
+
+// writeBlock persists series -> time-sorted points as one immutable block
+// under blocksDir and returns it opened for reading. walCuts records the
+// per-shard WAL coverage in the block's meta (nil is fine for tests).
+// The write is atomic: everything goes to a tmp- directory whose files
+// and entries are fsynced before the rename publishes it.
+func writeBlock(blocksDir string, seq uint64, walCuts map[string]uint64, series map[string][]Point) (*block, error) {
+	keys := make([]string, 0, len(series))
+	for k, pts := range series {
+		if len(pts) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("tsdb: writeBlock: no points")
+	}
+	sort.Strings(keys)
+
+	var chunks []byte
+	index := blockIndex{Series: make(map[string][]chunkRef, len(keys))}
+	meta := blockMeta{Version: 1, Seq: seq, MinT: int64(1)<<62 - 1, MaxT: -int64(1) << 62, Series: len(keys), WALCuts: walCuts}
+	for _, key := range keys {
+		pts := series[key]
+		for start := 0; start < len(pts); start += maxChunkPoints {
+			end := start + maxChunkPoints
+			if end > len(pts) {
+				end = len(pts)
+			}
+			part := pts[start:end]
+			payload, err := CompressBlock(part)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: writeBlock %q: %w", key, err)
+			}
+			ref := chunkRef{
+				Offset: int64(len(chunks)),
+				Length: len(payload),
+				Count:  len(part),
+				MinT:   part[0].T,
+				MaxT:   part[len(part)-1].T,
+			}
+			var hdr [chunkHeader]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+			chunks = append(chunks, hdr[:]...)
+			chunks = append(chunks, payload...)
+			index.Series[key] = append(index.Series[key], ref)
+			meta.Points += ref.Count
+			if ref.MinT < meta.MinT {
+				meta.MinT = ref.MinT
+			}
+			if ref.MaxT > meta.MaxT {
+				meta.MaxT = ref.MaxT
+			}
+		}
+	}
+	meta.ChunkBytes = int64(len(chunks))
+
+	tmp := filepath.Join(blocksDir, blockTmpPrefix+blockDirName(seq, meta.MinT, meta.MaxT))
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, blockChunksName), chunks); err != nil {
+		return nil, err
+	}
+	idxData, err := json.MarshalIndent(&index, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, blockIndexName), idxData); err != nil {
+		return nil, err
+	}
+	metaData, err := json.MarshalIndent(&meta, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, blockMetaName), metaData); err != nil {
+		return nil, err
+	}
+	// fsync the tmp directory itself: the rename below must not publish
+	// a directory whose entries could vanish on power loss — the WAL
+	// segments covering this data are deleted once the block is live.
+	if err := syncDir(tmp); err != nil {
+		return nil, err
+	}
+	final := filepath.Join(blocksDir, blockDirName(seq, meta.MinT, meta.MaxT))
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, err
+	}
+	if err := syncDir(blocksDir); err != nil {
+		return nil, err
+	}
+	return openBlock(final)
+}
+
+// writeFileSync writes data and fsyncs before closing, so the rename that
+// publishes the block never exposes half-written files.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openBlock loads a block's meta and index and opens its chunks file.
+func openBlock(dir string) (*block, error) {
+	metaData, err := os.ReadFile(filepath.Join(dir, blockMetaName))
+	if err != nil {
+		return nil, err
+	}
+	var meta blockMeta
+	if err := json.Unmarshal(metaData, &meta); err != nil {
+		return nil, fmt.Errorf("tsdb: block %s: bad meta: %w", dir, err)
+	}
+	idxData, err := os.ReadFile(filepath.Join(dir, blockIndexName))
+	if err != nil {
+		return nil, err
+	}
+	var idx blockIndex
+	if err := json.Unmarshal(idxData, &idx); err != nil {
+		return nil, fmt.Errorf("tsdb: block %s: bad index: %w", dir, err)
+	}
+	f, err := os.Open(filepath.Join(dir, blockChunksName))
+	if err != nil {
+		return nil, err
+	}
+	return &block{dir: dir, meta: meta, index: idx.Series, f: f}, nil
+}
+
+// query returns the block's points for key with T in [from, to), reading
+// and CRC-checking only the chunks whose time range overlaps.
+func (b *block) query(key string, from, to int64) ([]Point, error) {
+	refs := b.index[key]
+	var out []Point
+	for _, ref := range refs {
+		if ref.MaxT < from || ref.MinT >= to {
+			continue
+		}
+		buf := make([]byte, chunkHeader+ref.Length)
+		if _, err := b.f.ReadAt(buf, ref.Offset); err != nil {
+			return nil, fmt.Errorf("tsdb: block %s: reading chunk of %q: %w", b.dir, key, err)
+		}
+		payload := buf[chunkHeader:]
+		if got := binary.LittleEndian.Uint32(buf[0:4]); int(got) != ref.Length {
+			return nil, fmt.Errorf("tsdb: block %s: chunk length mismatch for %q", b.dir, key)
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
+			return nil, fmt.Errorf("tsdb: block %s: chunk CRC mismatch for %q", b.dir, key)
+		}
+		pts, err := DecompressBlock(payload)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: block %s: corrupt chunk for %q: %w", b.dir, key, err)
+		}
+		for _, p := range pts {
+			if p.T >= from && p.T < to {
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// hasSeries reports whether the block indexes key.
+func (b *block) hasSeries(key string) bool {
+	_, ok := b.index[key]
+	return ok
+}
+
+// close releases the chunks file.
+func (b *block) close() error {
+	if b.f == nil {
+		return nil
+	}
+	err := b.f.Close()
+	b.f = nil
+	return err
+}
+
+// openBlocks loads every published block under blocksDir (ascending by
+// sequence number) and removes leftover tmp- directories from flushes
+// that crashed before their rename.
+func openBlocks(blocksDir string) ([]*block, error) {
+	if err := os.MkdirAll(blocksDir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(blocksDir)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []*block
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, blockTmpPrefix) {
+			// Crash mid-flush: the WAL still covers this data.
+			if err := os.RemoveAll(filepath.Join(blocksDir, name)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !strings.HasPrefix(name, "b-") {
+			continue
+		}
+		b, err := openBlock(filepath.Join(blocksDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: opening block %s: %w", name, err)
+		}
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].meta.Seq < blocks[j].meta.Seq })
+	return blocks, nil
+}

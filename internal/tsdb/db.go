@@ -1,11 +1,17 @@
 package tsdb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrUnknownSeries is wrapped by Query errors for series the store has
+// never seen; callers that merge several point sources use it to tell
+// "not here" apart from real failures.
+var ErrUnknownSeries = errors.New("tsdb: unknown series")
 
 // blockSize is the number of points buffered per series before the tail
 // is compressed into a Gorilla block.
@@ -40,6 +46,31 @@ type series struct {
 	compBytes int
 }
 
+// pointsInRange decompresses and filters the series' points with T in
+// [from, to), preserving storage order: blocks in seal order, then the
+// tail. Callers own synchronization (a shard lock, or exclusive access
+// to a stolen snapshot).
+func (sr *series) pointsInRange(from, to int64) ([]Point, error) {
+	var out []Point
+	for _, b := range sr.blocks {
+		pts, err := DecompressBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if p.T >= from && p.T < to {
+				out = append(out, p)
+			}
+		}
+	}
+	for _, p := range sr.tail {
+		if p.T >= from && p.T < to {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
 // DB is an in-memory time-series store with InfluxDB-like write/query
 // semantics and explicit resource accounting. It is safe for concurrent
 // use.
@@ -49,6 +80,11 @@ type DB struct {
 	stats  Stats
 	maxT   int64
 	sealed bool
+
+	// wal, when non-nil, is the shard's write-ahead log: set only by
+	// OpenSharded, appended to (under mu, before the memory insert) on
+	// the appendSamples path that Sharded routes ingest through.
+	wal *walWriter
 }
 
 // New creates an empty DB.
@@ -84,7 +120,7 @@ func (db *DB) Write(payload []byte) (int, error) {
 // WriteSamples ingests samples that are already decoded (used by
 // in-process collectors that still want the wire cost accounted: pass the
 // encoded size explicitly).
-func (db *DB) WriteSamples(samples []Sample, wireBytes int) {
+func (db *DB) WriteSamples(samples []Sample, wireBytes int) error {
 	start := time.Now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -95,20 +131,41 @@ func (db *DB) WriteSamples(samples []Sample, wireBytes int) {
 	db.stats.NetworkInBytes += wireBytes
 	db.stats.NetworkOutBytes += ackBytes
 	db.stats.IngestCPU += time.Since(start)
+	return nil
 }
 
 // appendSamples ingests decoded samples with point and CPU accounting
 // but no network accounting: the entry point used by Sharded, whose
-// front door owns the wire-level counters.
-func (db *DB) appendSamples(samples []Sample) {
+// front door owns the wire-level counters. On a durable store the batch
+// goes to the WAL first; a WAL failure rejects the whole batch so memory
+// never holds points the log does not cover.
+func (db *DB) appendSamples(samples []Sample) error {
 	start := time.Now()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		if err := db.wal.append(samples); err != nil {
+			return err
+		}
+	}
+	for _, s := range samples {
+		db.insertLocked(s)
+	}
+	db.stats.Points += len(samples)
+	db.stats.IngestCPU += time.Since(start)
+	return nil
+}
+
+// replaySamples re-inserts WAL-recovered samples: memory and counters
+// update as on ingest, but nothing is re-logged — the records are already
+// in the segments being replayed.
+func (db *DB) replaySamples(samples []Sample) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, s := range samples {
 		db.insertLocked(s)
 	}
 	db.stats.Points += len(samples)
-	db.stats.IngestCPU += time.Since(start)
 }
 
 func (db *DB) insertLocked(s Sample) {
@@ -153,6 +210,66 @@ func (db *DB) sealLocked(sr *series) {
 	sr.tail = sr.tail[:0]
 }
 
+// cutSnapshot is the shard half of a durable checkpoint: under one lock
+// hold it rotates the WAL and steals every series structure into `into`,
+// leaving the shard empty. The work under the lock is O(series) slice
+// moves — no decompression — so queries stall only for the handover, not
+// for the decode. The stolen structures are immutable from here on (the
+// shard allocates fresh ones for new arrivals), so the caller may read
+// them without locking. The returned sequence number is the cut: all
+// stolen points live in WAL segments below it, all later appends in
+// segments at or above it. On error the shard is left untouched.
+func (db *DB) cutSnapshot(into map[string]*series) (cutSeq uint64, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cutSeq, err = db.wal.rotate()
+	if err != nil {
+		return 0, err
+	}
+	for key, sr := range db.data {
+		if sr.blockPts+len(sr.tail) > 0 {
+			into[key] = sr
+		}
+	}
+	db.data = map[string]*series{}
+	return cutSeq, nil
+}
+
+// reinsertSeries splices a stolen snapshot back after a failed block
+// write, in front of whatever arrived during the flush: the merged
+// series reads back as snapshot blocks, snapshot tail, then the current
+// data — the original arrival order, so equal-timestamp points keep
+// their pre-flush query order. Series counters were never reset by the
+// cut (Stats.Series is recomputed at the Sharded level for durable
+// stores), so only the raw data returns.
+func (db *DB) reinsertSeries(key string, old *series) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur := db.data[key]
+	if cur == nil {
+		db.data[key] = old
+		if len(old.tail) >= blockSize {
+			db.sealLocked(old)
+		}
+		return
+	}
+	merged := &series{
+		blocks:    old.blocks,
+		blockPts:  old.blockPts,
+		compBytes: old.compBytes,
+		tail:      old.tail,
+	}
+	if len(merged.tail) > 0 {
+		// Seal the snapshot's tail so the newer blocks can follow it.
+		db.sealLocked(merged)
+	}
+	merged.blocks = append(merged.blocks, cur.blocks...)
+	merged.blockPts += cur.blockPts
+	merged.compBytes += cur.compBytes
+	merged.tail = cur.tail
+	db.data[key] = merged
+}
+
 // Flush seals every series' tail so Stats reflects compressed storage.
 func (db *DB) Flush() {
 	db.mu.Lock()
@@ -173,24 +290,11 @@ func (db *DB) Query(component, metric string, from, to int64) ([]Point, error) {
 	key := component + "/" + metric
 	sr := db.data[key]
 	if sr == nil {
-		return nil, fmt.Errorf("tsdb: unknown series %q", key)
+		return nil, fmt.Errorf("%w %q", ErrUnknownSeries, key)
 	}
-	var out []Point
-	for _, b := range sr.blocks {
-		pts, err := DecompressBlock(b)
-		if err != nil {
-			return nil, fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
-		}
-		for _, p := range pts {
-			if p.T >= from && p.T < to {
-				out = append(out, p)
-			}
-		}
-	}
-	for _, p := range sr.tail {
-		if p.T >= from && p.T < to {
-			out = append(out, p)
-		}
+	out, err := sr.pointsInRange(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	// 16 bytes per point on the wire (timestamp + float64).

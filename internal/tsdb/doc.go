@@ -1,0 +1,49 @@
+// Package tsdb is the time-series store backing Sieve's monitoring
+// plane, standing in for the paper's InfluxDB deployment. It speaks a
+// line-protocol wire format (lineproto.go), compresses series with the
+// Gorilla scheme — delta-of-delta timestamps, XOR-encoded values
+// (gorilla.go, Pelkonen et al., VLDB 2015) — and meters the resources
+// the paper's Table 3 reports: ingest CPU time, stored bytes, and
+// network bytes in and out.
+//
+// Two stores implement the Store interface: DB, a single-mutex
+// in-memory store, and Sharded, which FNV-hashes series keys onto N
+// independent DB shards so concurrent writers contend per shard rather
+// than on one lock. Stored points and query results are identical at
+// any shard count; sharding changes scheduling, never data.
+//
+// # Durable storage engine
+//
+// A Sharded store opened with OpenSharded persists to disk with the
+// WAL-plus-blocks design of production TSDBs (Prometheus, Facebook
+// Gorilla):
+//
+//	<dir>/wal/shard-NNNN/MMMMMMMM.wal    per-shard write-ahead log
+//	<dir>/blocks/b-<seq>-<minT>-<maxT>/  immutable compressed blocks
+//	  meta.json                          time range, point/series counts
+//	  index.json                         series key -> chunk offsets
+//	  chunks.dat                         CRC-framed Gorilla chunks
+//
+// Every ingested batch is appended to the owning shard's WAL — a
+// CRC-32C-framed, segmented log with a configurable fsync policy
+// (always / interval / never) — before it becomes visible in memory. A
+// background flusher periodically checkpoints: under each shard's lock
+// it drains the in-memory points and rotates the WAL in one atomic cut,
+// seals the drained data into an immutable block directory (written to
+// a tmp- path, fsynced, then renamed), and deletes the WAL segments the
+// block now covers. Retention drops whole blocks once every point in
+// them is further behind the store's high-water mark than the
+// configured horizon, bounding disk while the in-memory head stays
+// bounded by the flush cadence.
+//
+// Recovery in OpenSharded is the reverse: published blocks are indexed
+// for reading (leftover tmp- directories from a crashed flush are
+// removed; their data is still in the WAL), then each shard's WAL is
+// replayed in segment order. A torn or corrupt record ends replay
+// Prometheus-style: the bad tail is truncated, later segments are
+// discarded, and everything up to the last good record — i.e. all data
+// up to the last fsynced entry — is served exactly as before the crash.
+// Queries merge block chunks with in-memory points via a stable sort by
+// timestamp, so a restarted store answers byte-identically to the store
+// that was killed.
+package tsdb

@@ -1,0 +1,546 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DurabilityOptions configures the on-disk storage engine of a Sharded
+// store opened with OpenSharded.
+type DurabilityOptions struct {
+	// Dir is the data directory root. It is created if missing; layout:
+	//
+	//	<dir>/wal/shard-NNNN/MMMMMMMM.wal   per-shard WAL segments
+	//	<dir>/blocks/b-<seq>-<minT>-<maxT>/ immutable compressed blocks
+	Dir string
+	// Fsync is the WAL fsync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncInterval is the cadence of the background fsync ticker under
+	// the FsyncInterval policy (default 200ms).
+	FsyncInterval time.Duration
+	// FlushInterval is the cadence of the background flusher that
+	// checkpoints in-memory data into blocks and prunes the WAL (default
+	// 60s; negative disables the background flusher — checkpoints then
+	// only happen via Checkpoint and Close).
+	FlushInterval time.Duration
+	// RetentionMS drops blocks whose newest point is more than this many
+	// milliseconds of ingest time behind the store's high-water mark
+	// (0 keeps everything). Retention is block-granular: a block is
+	// removed only once every point in it is past the horizon.
+	RetentionMS int64
+	// SegmentBytes is the WAL segment roll threshold (default 8 MiB).
+	SegmentBytes int64
+}
+
+func (o DurabilityOptions) withDefaults() DurabilityOptions {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 200 * time.Millisecond
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = 60 * time.Second
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// durable is the persistence side of a Sharded store: the block list,
+// the checkpoint machinery, and the background tickers. The per-shard
+// WALs live inside the shard DBs, whose locks order every append against
+// the checkpoint cut.
+type durable struct {
+	opts      DurabilityOptions
+	blocksDir string
+
+	// mu guards blocks, flushing, and nextSeq. Checkpoints hold flushMu
+	// for their whole run, so only one cut is in flight at a time.
+	mu     sync.RWMutex
+	blocks []*block
+	// flushing holds the series structures stolen from the shards by an
+	// in-flight checkpoint: still compressed, immutable, and visible to
+	// queries while their block is being written.
+	flushing map[string]*series
+	nextSeq  uint64
+
+	// cutMu excludes readers during the cut itself: a checkpoint holds
+	// the write side from the first shard drain until the drained set is
+	// published as the flushing overlay (and on the failure path, until
+	// the points are back in memory), while Query/SeriesKeys hold the
+	// read side across their memory+blocks reads. Without it a reader
+	// racing the cut could catch a shard already drained but the overlay
+	// not yet visible (missing points), or memory pre-cut and blocks
+	// post-publish (duplicated points). Lock order: cutMu, then shard
+	// locks, then mu.
+	cutMu sync.RWMutex
+
+	// basePoints is the persisted-points balance added to the shards'
+	// cumulative counters by Stats: blocks recovered at open add their
+	// points (prior lives' ingests the shard counters never saw), and
+	// retention-removed blocks subtract theirs — going negative for
+	// this-life blocks, offsetting the shard counters — so Points tracks
+	// the observations the store actually holds.
+	basePoints int
+
+	// staleWAL maps shard index -> directory for WAL dirs left over from
+	// a previous life that ran with a higher shard count. Their records
+	// were hash-routed into the current shards at open; the first
+	// successful checkpoint seals that data into a block (recording the
+	// dirs as fully covered in its meta, so a crash before the removal
+	// below cannot replay them again) and deletes the directories.
+	staleWAL map[int]string
+
+	flushMu sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// OpenSharded opens (or creates) a durable sharded store at opts.Dir:
+// published blocks are indexed for reading, every WAL shard directory is
+// replayed into memory — tolerating a truncated or corrupt tail, which
+// is cut off Prometheus-style — and background fsync/flush tickers are
+// started. A store that was killed without Close reopens to exactly the
+// points covered by blocks plus fsynced WAL records.
+//
+// Replay routes records by the current key hash, not by directory
+// position, so the shard count may change between lives (cmd/sieved
+// defaults it to GOMAXPROCS, which varies across hosts): directories
+// beyond the new count are replayed too and deleted once a checkpoint
+// has sealed their data into a block.
+//
+// The returned store must be Closed to flush the final checkpoint; a
+// crash without Close loses nothing that reached the WAL.
+func OpenSharded(n int, opts DurabilityOptions) (*Sharded, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("tsdb: OpenSharded: empty data directory")
+	}
+	s := NewSharded(n)
+	d := &durable{opts: opts, blocksDir: filepath.Join(opts.Dir, "blocks"), stop: make(chan struct{})}
+
+	blocks, err := openBlocks(d.blocksDir)
+	if err != nil {
+		return nil, err
+	}
+	// Until the tickers start, this closes everything opened so far on
+	// any failure path: nothing else can, since the store is never
+	// returned.
+	closeOnErr := func() {
+		for _, b := range blocks {
+			_ = b.close()
+		}
+		for _, sh := range s.shards {
+			if sh.wal != nil {
+				_ = sh.wal.close()
+			}
+		}
+	}
+	d.blocks = blocks
+	d.nextSeq = 1
+	for _, b := range blocks {
+		d.basePoints += b.meta.Points
+		if b.meta.Seq >= d.nextSeq {
+			d.nextSeq = b.meta.Seq + 1
+		}
+	}
+
+	walRoot := filepath.Join(opts.Dir, "wal")
+	dirIdxs, err := listWALShardDirs(walRoot)
+	if err != nil {
+		closeOnErr()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		dirIdxs[i] = struct{}{} // current shards replay (and create) their dirs
+	}
+	replayOrder := make([]int, 0, len(dirIdxs))
+	for i := range dirIdxs {
+		replayOrder = append(replayOrder, i)
+	}
+	sort.Ints(replayOrder) // deterministic replay order across directories
+	for _, i := range replayOrder {
+		shardDir := walShardDir(walRoot, i)
+		// Drop segments already covered by a published block: the cuts
+		// recorded in block metas survive a crash between a block's
+		// rename and its WAL pruning, so those records never replay on
+		// top of the block data they duplicate. Cuts are per directory,
+		// so they stay valid across shard-count changes.
+		if cut := maxRecordedCut(blocks, i); cut > 0 {
+			if err := pruneWALSegmentsBelow(shardDir, cut); err != nil {
+				closeOnErr()
+				return nil, fmt.Errorf("tsdb: pruning covered wal of shard %d: %w", i, err)
+			}
+		}
+		if _, err := replayWAL(shardDir, s.routeReplay); err != nil {
+			closeOnErr()
+			return nil, fmt.Errorf("tsdb: replaying %s: %w", shardDir, err)
+		}
+		if i >= n {
+			if d.staleWAL == nil {
+				d.staleWAL = map[int]string{}
+			}
+			d.staleWAL[i] = shardDir
+		}
+	}
+	for i, sh := range s.shards {
+		w, err := openWALWriter(walShardDir(walRoot, i), opts.Fsync, opts.SegmentBytes)
+		if err != nil {
+			closeOnErr()
+			return nil, fmt.Errorf("tsdb: opening wal for shard %d: %w", i, err)
+		}
+		sh.wal = w
+	}
+	s.dur = d
+
+	if err := d.enforceRetention(s.MaxTime()); err != nil {
+		closeOnErr()
+		return nil, err
+	}
+
+	if opts.Fsync == FsyncInterval {
+		d.wg.Add(1)
+		go d.fsyncLoop(s)
+	}
+	if opts.FlushInterval > 0 {
+		d.wg.Add(1)
+		go d.flushLoop(s)
+	}
+	return s, nil
+}
+
+// walShardDir formats the WAL directory of one shard index.
+func walShardDir(walRoot string, i int) string {
+	return filepath.Join(walRoot, fmt.Sprintf("shard-%04d", i))
+}
+
+// listWALShardDirs returns the set of shard indices that have WAL
+// directories on disk (empty when the wal root does not exist yet).
+func listWALShardDirs(walRoot string) (map[int]struct{}, error) {
+	idxs := map[int]struct{}{}
+	entries, err := os.ReadDir(walRoot)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return idxs, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var i int
+		if _, err := fmt.Sscanf(e.Name(), "shard-%04d", &i); err == nil && i >= 0 {
+			idxs[i] = struct{}{}
+		}
+	}
+	return idxs, nil
+}
+
+// maxRecordedCut returns the highest WAL cut any published block
+// recorded for the given shard (0 when none): segments below it are
+// fully covered by block data. Retention-expired blocks are gone by the
+// time this runs, but their cuts were superseded by every later block's.
+func maxRecordedCut(blocks []*block, shard int) uint64 {
+	key := fmt.Sprintf("%d", shard)
+	var max uint64
+	for _, b := range blocks {
+		if c := b.meta.WALCuts[key]; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// fsyncLoop flushes dirty WAL segments on a ticker (FsyncInterval policy).
+func (d *durable) fsyncLoop(s *Sharded) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			for _, sh := range s.shards {
+				_ = sh.wal.sync()
+			}
+		}
+	}
+}
+
+// flushLoop checkpoints on a ticker.
+func (d *durable) flushLoop(s *Sharded) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			_ = s.Checkpoint()
+		}
+	}
+}
+
+// checkpoint seals all in-memory data into one immutable block and prunes
+// the WAL segments the block now covers. The cut is consistent: each
+// shard rotates its WAL and hands over its series structures under one
+// lock hold, so every point is either in the stolen snapshot (and then
+// the block) or in the post-rotation WAL — never both, never neither.
+// Only the cheap handover happens under the reader-excluding cutMu;
+// decoding and compressing the snapshot runs with readers live, served
+// by the flushing overlay.
+func (d *durable) checkpoint(s *Sharded) error {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+
+	snap := map[string]*series{}
+	cuts := make([]uint64, len(s.shards))
+	d.cutMu.Lock()
+	for i, sh := range s.shards {
+		cut, err := sh.cutSnapshot(snap)
+		if err != nil {
+			// Shards cut so far are already drained; put their series
+			// back so queries keep seeing them (their WAL is untouched).
+			s.reinsert(snap)
+			d.cutMu.Unlock()
+			return fmt.Errorf("tsdb: checkpoint: cutting shard %d: %w", i, err)
+		}
+		cuts[i] = cut
+	}
+	var points int
+	for _, sr := range snap {
+		points += sr.blockPts + len(sr.tail)
+	}
+	var seq uint64
+	if points > 0 {
+		d.mu.Lock()
+		seq = d.nextSeq
+		d.nextSeq++
+		d.flushing = snap
+		d.mu.Unlock()
+	}
+	// Readers may run again: the stolen series stay visible through the
+	// flushing overlay while the block is built below.
+	d.cutMu.Unlock()
+
+	if points > 0 {
+		cutsMeta := walCutsMeta(cuts)
+		// Stale dirs are quiescent (no writer) and their records are in
+		// this cut: mark every segment of theirs as covered, so recovery
+		// prunes them even if we crash before the RemoveAll below.
+		for idx := range d.staleWAL {
+			cutsMeta[fmt.Sprintf("%d", idx)] = ^uint64(0)
+		}
+		blk, err := buildBlock(d.blocksDir, seq, cutsMeta, snap)
+		if err != nil {
+			// The stolen series vanished from memory at the cut; splice
+			// them back so queries keep seeing them. Their WAL segments
+			// were not pruned, so durability is unaffected. The swap from
+			// overlay back into memory is atomic for readers: cutMu
+			// excludes them until the reinsert is complete.
+			d.cutMu.Lock()
+			d.mu.Lock()
+			d.flushing = nil
+			d.mu.Unlock()
+			s.reinsert(snap)
+			d.cutMu.Unlock()
+			return fmt.Errorf("tsdb: checkpoint: %w", err)
+		}
+		// Atomic swap from overlay to block under mu: a reader sees the
+		// flushed points exactly once, from one of the two.
+		d.mu.Lock()
+		d.flushing = nil
+		d.blocks = append(d.blocks, blk)
+		d.mu.Unlock()
+	}
+	for i, sh := range s.shards {
+		if err := sh.wal.removeSegmentsBelow(cuts[i]); err != nil {
+			return fmt.Errorf("tsdb: checkpoint: pruning wal of shard %d: %w", i, err)
+		}
+	}
+	// WAL directories inherited from a life with more shards: their
+	// records were hash-routed into memory at open, so the cut above
+	// captured them and the block (or, with nothing replayed, the empty
+	// directories themselves) now covers everything they held.
+	for _, dir := range d.staleWAL {
+		if err := os.RemoveAll(dir); err != nil {
+			return fmt.Errorf("tsdb: checkpoint: removing stale wal dir %s: %w", dir, err)
+		}
+	}
+	d.staleWAL = nil
+	return d.enforceRetention(s.MaxTime())
+}
+
+// buildBlock decodes a stolen snapshot into time-sorted points and
+// persists them as one immutable block.
+func buildBlock(blocksDir string, seq uint64, walCuts map[string]uint64, snap map[string]*series) (*block, error) {
+	series := make(map[string][]Point, len(snap))
+	for key, sr := range snap {
+		pts, err := sr.pointsInRange(math.MinInt64, math.MaxInt64)
+		if err != nil {
+			return nil, fmt.Errorf("decoding snapshot of %q: %w", key, err)
+		}
+		// Stable by time: preserves arrival order among equal timestamps,
+		// so queries after a flush (and after recovery) return the same
+		// bytes as before it.
+		sort.SliceStable(pts, func(a, b int) bool { return pts[a].T < pts[b].T })
+		series[key] = pts
+	}
+	blk, err := writeBlock(blocksDir, seq, walCuts, series)
+	if err != nil {
+		return nil, fmt.Errorf("writing block: %w", err)
+	}
+	return blk, nil
+}
+
+// walCutsMeta formats per-shard WAL cut sequences for a block's meta:
+// shard index (as a string, JSON maps need string keys) -> first WAL
+// segment NOT covered by the block. Recovery uses it to drop stale
+// segments whose records the block already holds, even if the
+// checkpoint that wrote it crashed before pruning them.
+func walCutsMeta(cuts []uint64) map[string]uint64 {
+	m := make(map[string]uint64, len(cuts))
+	for i, c := range cuts {
+		m[fmt.Sprintf("%d", i)] = c
+	}
+	return m
+}
+
+// enforceRetention removes blocks entirely past the retention horizon,
+// measured in ingest time against the high-water mark (wall clock never
+// enters: replayed historical data ages by its own timeline).
+func (d *durable) enforceRetention(maxTime int64) error {
+	if d.opts.RetentionMS <= 0 {
+		return nil
+	}
+	horizon := maxTime - d.opts.RetentionMS
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := d.blocks[:0]
+	for _, b := range d.blocks {
+		if b.meta.MaxT >= horizon {
+			kept = append(kept, b)
+			continue
+		}
+		if err := b.close(); err != nil {
+			return err
+		}
+		if err := os.RemoveAll(b.dir); err != nil {
+			return err
+		}
+		// Keep the Points balance honest: these observations are gone.
+		d.basePoints -= b.meta.Points
+	}
+	d.blocks = kept
+	return nil
+}
+
+// queryBlocks returns the persisted points for key with T in [from, to),
+// including any stolen snapshot currently being written out by a
+// checkpoint, plus whether the key exists anywhere on the persisted side.
+func (d *durable) queryBlocks(key string, from, to int64) (pts []Point, known bool, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, b := range d.blocks {
+		if !b.hasSeries(key) {
+			continue
+		}
+		known = true
+		if b.meta.MaxT < from || b.meta.MinT >= to {
+			continue
+		}
+		got, err := b.query(key, from, to)
+		if err != nil {
+			return nil, true, err
+		}
+		pts = append(pts, got...)
+	}
+	if sr, ok := d.flushing[key]; ok {
+		known = true
+		mid, err := sr.pointsInRange(from, to)
+		if err != nil {
+			return nil, true, fmt.Errorf("tsdb: corrupt block in flushing %q: %w", key, err)
+		}
+		pts = append(pts, mid...)
+	}
+	return pts, known, nil
+}
+
+// addSeriesKeys unions the persisted series keys into set.
+func (d *durable) addSeriesKeys(set map[string]struct{}) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, b := range d.blocks {
+		for k := range b.index {
+			set[k] = struct{}{}
+		}
+	}
+	for k := range d.flushing {
+		set[k] = struct{}{}
+	}
+}
+
+// maxTime returns the newest block timestamp. The flushing overlay
+// needs no scan: a shard's maxT is cumulative and survives the cut, so
+// in-flight snapshots are already covered by the shard side of
+// Sharded.MaxTime.
+func (d *durable) maxTime() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var max int64
+	for _, b := range d.blocks {
+		if b.meta.MaxT > max {
+			max = b.meta.MaxT
+		}
+	}
+	return max
+}
+
+// diskStats reports persisted-side accounting: block bytes and the point
+// base recovered from prior lives.
+func (d *durable) diskStats() (blockBytes int64, basePoints, blockCount int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, b := range d.blocks {
+		blockBytes += b.meta.ChunkBytes
+	}
+	return blockBytes, d.basePoints, len(d.blocks)
+}
+
+// shutdown stops the tickers, runs a final checkpoint so memory reaches
+// disk in compressed form, and closes WALs and block files.
+func (d *durable) shutdown(s *Sharded) error {
+	d.flushMu.Lock()
+	if d.closed {
+		d.flushMu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.flushMu.Unlock()
+
+	close(d.stop)
+	d.wg.Wait()
+
+	err := d.checkpoint(s)
+	for _, sh := range s.shards {
+		if cerr := sh.wal.close(); err == nil {
+			err = cerr
+		}
+	}
+	d.mu.Lock()
+	for _, b := range d.blocks {
+		if cerr := b.close(); err == nil {
+			err = cerr
+		}
+	}
+	d.mu.Unlock()
+	return err
+}

@@ -1,0 +1,457 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// openCrashable opens a durable store with background tickers disabled
+// and no explicit fsync, so tests can simulate a hard stop (SIGKILL) by
+// simply abandoning the store: nothing is flushed or closed, and the
+// next OpenSharded on the directory must recover purely from what the
+// engine already put on disk.
+func openCrashable(t *testing.T, dir string, shards int) *Sharded {
+	t.Helper()
+	s, err := OpenSharded(shards, DurabilityOptions{Dir: dir, Fsync: FsyncNever, FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenSharded(%s): %v", dir, err)
+	}
+	return s
+}
+
+// recoveryWrite sends one line-protocol batch to every given store.
+func recoveryWrite(t *testing.T, samples []Sample, stores ...Store) {
+	t.Helper()
+	payload := EncodeLineProtocol(samples)
+	for _, st := range stores {
+		if _, err := st.Write(payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+}
+
+// assertSameContents asserts both stores serve byte-identical series
+// keys, per-series query results over the full time range, and MaxTime.
+func assertSameContents(t *testing.T, got, want ReadStore, label string) {
+	t.Helper()
+	gk, wk := got.SeriesKeys(), want.SeriesKeys()
+	if !reflect.DeepEqual(gk, wk) {
+		t.Fatalf("%s: series keys differ: got %d, want %d", label, len(gk), len(wk))
+	}
+	for _, key := range wk {
+		comp, metric := splitKey(key)
+		gp, err := got.Query(comp, metric, 0, 1<<62)
+		if err != nil {
+			t.Fatalf("%s: query %s: %v", label, key, err)
+		}
+		wp, err := want.Query(comp, metric, 0, 1<<62)
+		if err != nil {
+			t.Fatalf("%s: reference query %s: %v", label, key, err)
+		}
+		if !reflect.DeepEqual(gp, wp) {
+			t.Fatalf("%s: %s differs: got %d points, want %d", label, key, len(gp), len(wp))
+		}
+	}
+}
+
+func splitKey(key string) (comp, metric string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+func recoveryBatch(batch, comps, mets int) []Sample {
+	out := make([]Sample, 0, comps*mets)
+	for c := 0; c < comps; c++ {
+		for m := 0; m < mets; m++ {
+			out = append(out, Sample{
+				Component: fmt.Sprintf("comp-%02d", c),
+				Metric:    fmt.Sprintf("metric_%02d", m),
+				T:         int64(batch) * 500,
+				V:         float64(batch*c) + float64(m)*0.25,
+			})
+		}
+	}
+	return out
+}
+
+func TestDurableRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 4)
+	ref := NewSharded(4)
+	for i := 0; i < 30; i++ {
+		recoveryWrite(t, recoveryBatch(i, 8, 4), s, ref)
+	}
+	// Hard stop: no Checkpoint, no Close. Everything lives in the WAL.
+	re := openCrashable(t, dir, 4)
+	defer re.Close()
+	assertSameContents(t, re, ref, "wal-only recovery")
+	if re.MaxTime() != ref.MaxTime() {
+		t.Errorf("MaxTime = %d, want %d", re.MaxTime(), ref.MaxTime())
+	}
+	if got, want := re.Stats().Points, ref.Stats().Points; got != want {
+		t.Errorf("Points = %d, want %d", got, want)
+	}
+}
+
+func TestDurableRecoveryBlocksPlusWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 3)
+	ref := NewSharded(3)
+	for i := 0; i < 20; i++ {
+		recoveryWrite(t, recoveryBatch(i, 6, 5), s, ref)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Post-checkpoint queries must already merge block + memory.
+	assertSameContents(t, s, ref, "after checkpoint, before crash")
+	for i := 20; i < 35; i++ {
+		recoveryWrite(t, recoveryBatch(i, 6, 5), s, ref)
+	}
+	assertSameContents(t, s, ref, "block + fresh memory")
+
+	// Hard stop with data split across one block and WAL segments.
+	re := openCrashable(t, dir, 3)
+	assertSameContents(t, re, ref, "block+wal recovery")
+
+	// A second life's checkpoint compacts the replayed WAL into a second
+	// block; contents must not change.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatalf("second checkpoint: %v", err)
+	}
+	assertSameContents(t, re, ref, "after second-life checkpoint")
+	re.Close()
+
+	// Third life: blocks only, WAL empty.
+	re2 := openCrashable(t, dir, 3)
+	defer re2.Close()
+	assertSameContents(t, re2, ref, "blocks-only recovery")
+}
+
+// TestDurableRecoveryShardCountChangeAfterCheckpoint: blocks are
+// shard-agnostic, so growing the count after a graceful close (empty
+// WAL) must be exact.
+func TestDurableRecoveryShardCountChangeAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 2)
+	ref := NewSharded(2)
+	for i := 0; i < 10; i++ {
+		recoveryWrite(t, recoveryBatch(i, 5, 3), s, ref)
+	}
+	if err := s.Close(); err != nil { // graceful: final checkpoint drains the WAL
+		t.Fatal(err)
+	}
+	re := openCrashable(t, dir, 6)
+	defer re.Close()
+	assertSameContents(t, re, ref, "reshard after checkpoint")
+}
+
+// TestDurableRecoveryShardCountChangeWithLiveWAL hard-stops a store and
+// reopens it with both fewer and more shards while the data still lives
+// in WAL segments: replay routes records by the current hash, so no
+// directory is orphaned (shrink) and no point lands in a shard queries
+// do not consult (grow). cmd/sieved defaults -shards to GOMAXPROCS, so
+// this is exactly what a host change does.
+func TestDurableRecoveryShardCountChangeWithLiveWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 4)
+	ref := NewSharded(4)
+	for i := 0; i < 15; i++ {
+		recoveryWrite(t, recoveryBatch(i, 6, 4), s, ref)
+	}
+	// Hard stop; reopen with FEWER shards: dirs 0002/0003 are stale and
+	// must still be replayed, hash-routed onto the 2 new shards.
+	re := openCrashable(t, dir, 2)
+	assertSameContents(t, re, ref, "shrink reshard with live WAL")
+	// A checkpoint seals the rerouted data and retires the stale dirs.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, stale := range []string{"shard-0002", "shard-0003"} {
+		if _, err := os.Stat(filepath.Join(dir, "wal", stale)); !os.IsNotExist(err) {
+			t.Errorf("stale WAL dir %s should be removed by the checkpoint", stale)
+		}
+	}
+	for i := 15; i < 20; i++ {
+		recoveryWrite(t, recoveryBatch(i, 6, 4), re, ref)
+	}
+	// Hard stop again; reopen with MORE shards than ever existed.
+	re2 := openCrashable(t, dir, 8)
+	defer re2.Close()
+	assertSameContents(t, re2, ref, "grow reshard with live WAL")
+	if got, want := re2.Stats().Points, ref.Stats().Points; got != want {
+		t.Fatalf("recovered %d points, want %d", got, want)
+	}
+}
+
+func TestDurableCrashMidFlush(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 2)
+	ref := NewSharded(2)
+	for i := 0; i < 12; i++ {
+		recoveryWrite(t, recoveryBatch(i, 4, 4), s, ref)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 20; i++ {
+		recoveryWrite(t, recoveryBatch(i, 4, 4), s, ref)
+	}
+	// Simulate dying inside the next flush, after the chunks were
+	// partially written but before the rename published the block: a
+	// tmp- directory exists and the WAL was not pruned.
+	tmp := filepath.Join(dir, "blocks", blockTmpPrefix+"b-00000099-0-0")
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, blockChunksName), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openCrashable(t, dir, 2)
+	defer re.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("tmp block directory should be removed during recovery")
+	}
+	assertSameContents(t, re, ref, "mid-flush crash recovery")
+}
+
+func TestDurableTruncatedWALTail(t *testing.T) {
+	dir := t.TempDir()
+	// Single shard so the lost tail is exactly the last written batch.
+	s := openCrashable(t, dir, 1)
+	ref := NewSharded(1)
+	for i := 0; i < 10; i++ {
+		recoveryWrite(t, recoveryBatch(i, 4, 4), s, ref)
+	}
+	// The 11th batch is torn mid-record by the crash.
+	recoveryWrite(t, recoveryBatch(10, 4, 4), s)
+
+	shardDir := filepath.Join(dir, "wal", "shard-0000")
+	seqs, err := listWALSegments(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := filepath.Join(shardDir, walSegmentName(seqs[len(seqs)-1]))
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openCrashable(t, dir, 1)
+	defer re.Close()
+	// Recovery keeps every fsync-able record before the torn one and
+	// nothing after: identical to the reference that never saw batch 10.
+	assertSameContents(t, re, ref, "truncated-tail recovery")
+}
+
+// TestDurableRecovery100kPoints is the acceptance-scale crash test: over
+// 100k points across shards, hard stop with data split between a sealed
+// block and live WAL segments, then a restart that must serve identical
+// query results with zero loss.
+func TestDurableRecovery100kPoints(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 4)
+	ref := NewSharded(4)
+	const batches, comps, mets = 130, 32, 25 // 130*32*25 = 104,000 points
+	for i := 0; i < batches; i++ {
+		recoveryWrite(t, recoveryBatch(i, comps, mets), s, ref)
+		if i == batches/2 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := s.Stats().Points; got < 100000 {
+		t.Fatalf("test must ingest >= 100k points, got %d", got)
+	}
+	re := openCrashable(t, dir, 4)
+	defer re.Close()
+	if got, want := re.Stats().Points, ref.Stats().Points; got != want {
+		t.Fatalf("recovered %d points, want %d (zero loss)", got, want)
+	}
+	assertSameContents(t, re, ref, "100k-point recovery")
+}
+
+func TestDurableRetentionDropsOldBlocks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(2, DurabilityOptions{
+		Dir: dir, Fsync: FsyncNever, FlushInterval: -1, RetentionMS: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []Sample{{Component: "a", Metric: "m", T: 500, V: 1}, {Component: "b", Metric: "m", T: 900, V: 2}}
+	recoveryWrite(t, old, s)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// New data far beyond the horizon: the first block (maxT 900) is now
+	// more than RetentionMS behind the high-water mark.
+	recoveryWrite(t, []Sample{{Component: "a", Metric: "m", T: 50_000, V: 3}}, s)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "blocks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 surviving block, found %d", len(entries))
+	}
+	pts, err := s.Query("a", "m", 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].T != 50_000 {
+		t.Fatalf("expired points still served: %v", pts)
+	}
+	// Series b lived only in the dropped block.
+	if _, err := s.Query("b", "m", 0, 1<<62); err == nil {
+		t.Error("expected unknown-series error after retention dropped b/m")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Retention holds across restart.
+	re := openCrashable(t, dir, 2)
+	defer re.Close()
+	pts, err = re.Query("a", "m", 0, 1<<62)
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("post-restart query = %v, %v", pts, err)
+	}
+}
+
+// TestDurableStaleWALSegmentsNotReplayed covers a checkpoint that died
+// between publishing its block and pruning the WAL: the stale segments
+// hold records the block already covers, and replaying them would
+// duplicate every point. Recovery must drop them using the WAL cuts
+// recorded in the block's meta.
+func TestDurableStaleWALSegmentsNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 1)
+	ref := NewSharded(1)
+	for i := 0; i < 8; i++ {
+		recoveryWrite(t, recoveryBatch(i, 4, 3), s, ref)
+	}
+	// Stash the live segments, checkpoint (which prunes them), then put
+	// them back — exactly the on-disk state of a crash mid-prune.
+	shardDir := filepath.Join(dir, "wal", "shard-0000")
+	seqs, err := listWALSegments(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := map[string][]byte{}
+	for _, seq := range seqs {
+		name := walSegmentName(seq)
+		data, err := os.ReadFile(filepath.Join(shardDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[name] = data
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(shardDir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := openCrashable(t, dir, 1)
+	defer re.Close()
+	if got, want := re.Stats().Points, ref.Stats().Points; got != want {
+		t.Fatalf("recovered %d points, want %d (stale segments must not replay)", got, want)
+	}
+	assertSameContents(t, re, ref, "stale-segment recovery")
+}
+
+// TestDurableConcurrentIngestCheckpointQuery exercises the cut under
+// contention (run with -race in CI): writers, a checkpointer, and readers
+// all race, and no point may ever be observed twice or lost.
+func TestDurableConcurrentIngestCheckpointQuery(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 4)
+	const writers, batchesPerWriter = 4, 25
+	// A fully-written series queried throughout: every read must see all
+	// of it, whichever side of a checkpoint cut it lands on.
+	const stablePoints = 64
+	stable := make([]Sample, stablePoints)
+	for i := range stable {
+		stable[i] = Sample{Component: "stable", Metric: "m", T: int64(i) * 500, V: float64(i)}
+	}
+	recoveryWrite(t, stable, s)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batchesPerWriter; i++ {
+				samples := []Sample{{
+					Component: fmt.Sprintf("w%d", w),
+					Metric:    "m",
+					T:         int64(i) * 500,
+					V:         float64(i),
+				}}
+				if _, err := s.Write(EncodeLineProtocol(samples)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			pts, err := s.Query("stable", "m", 0, 1<<62)
+			if err != nil {
+				t.Errorf("stable query: %v", err)
+				return
+			}
+			if len(pts) != stablePoints {
+				t.Errorf("stable series: saw %d points mid-checkpoint, want %d (cut must be invisible)", len(pts), stablePoints)
+				return
+			}
+			_, _ = s.Query("w0", "m", 0, 1<<62)
+			_ = s.SeriesKeys()
+			_ = s.Stats()
+		}
+	}()
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openCrashable(t, dir, 4)
+	defer re.Close()
+	for w := 0; w < writers; w++ {
+		pts, err := re.Query(fmt.Sprintf("w%d", w), "m", 0, 1<<62)
+		if err != nil {
+			t.Fatalf("w%d: %v", w, err)
+		}
+		if len(pts) != batchesPerWriter {
+			t.Errorf("w%d: %d points, want %d", w, len(pts), batchesPerWriter)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"errors"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -21,6 +22,11 @@ type Sharded struct {
 	netIn     atomic.Int64
 	netOut    atomic.Int64
 	ingestCPU atomic.Int64 // nanoseconds spent parsing+partitioning
+
+	// dur is the storage engine of a store opened with OpenSharded: WAL
+	// segments hang off the shards, dur owns the immutable block files,
+	// checkpoints, and retention. nil for a pure in-memory store.
+	dur *durable
 }
 
 // NewSharded creates a store with n shards; n <= 0 uses GOMAXPROCS.
@@ -86,65 +92,142 @@ func (s *Sharded) partition(samples []Sample) [][]Sample {
 	return parts
 }
 
-func (s *Sharded) ingest(samples []Sample, wireBytes int, start time.Time) {
+func (s *Sharded) ingest(samples []Sample, wireBytes int, start time.Time) error {
+	var err error
 	if len(s.shards) == 1 {
 		// Single shard: nothing to partition.
 		s.ingestCPU.Add(int64(time.Since(start)))
-		s.shards[0].appendSamples(samples)
+		err = s.shards[0].appendSamples(samples)
 	} else {
 		parts := s.partition(samples)
 		s.ingestCPU.Add(int64(time.Since(start)))
 		for i, part := range parts {
 			if len(part) > 0 {
-				s.shards[i].appendSamples(part)
+				if aerr := s.shards[i].appendSamples(part); aerr != nil && err == nil {
+					err = aerr
+				}
 			}
 		}
 	}
 	s.netIn.Add(int64(wireBytes))
 	s.netOut.Add(ackBytes)
+	return err
 }
 
 // Write ingests a line-protocol payload, returning the number of samples
-// stored. Parsing and partitioning happen outside any shard lock.
+// stored. Parsing and partitioning happen outside any shard lock. On a
+// durable store a WAL append failure fails the write; with multiple
+// shards the failure can be partial — sub-batches routed to healthy
+// shards are stored and logged, only the failing shard's samples are
+// dropped (the partial-write semantics of real TSDBs: per-shard
+// atomicity, not per-batch).
 func (s *Sharded) Write(payload []byte) (int, error) {
 	start := time.Now()
 	samples, err := ParseLineProtocol(payload)
 	if err != nil {
 		return 0, err
 	}
-	s.ingest(samples, len(payload), start)
+	if err := s.ingest(samples, len(payload), start); err != nil {
+		return 0, err
+	}
 	return len(samples), nil
 }
 
 // WriteSamples ingests already-decoded samples, accounting wireBytes as
 // network-in traffic.
-func (s *Sharded) WriteSamples(samples []Sample, wireBytes int) {
-	s.ingest(samples, wireBytes, time.Now())
+func (s *Sharded) WriteSamples(samples []Sample, wireBytes int) error {
+	return s.ingest(samples, wireBytes, time.Now())
 }
 
-// Query returns the points of component/metric with T in [from, to) from
-// the owning shard.
+// Query returns the points of component/metric with T in [from, to): the
+// owning shard's in-memory points merged, on a durable store, with every
+// overlapping persisted block (and any drained set mid-checkpoint).
 func (s *Sharded) Query(component, metric string, from, to int64) ([]Point, error) {
-	return s.shards[s.shardIndex(component+"/"+metric)].Query(component, metric, from, to)
+	if s.dur != nil {
+		// Hold the cut lock across both reads so a concurrent checkpoint
+		// cannot drain memory between them (points missed) or publish a
+		// block between them (points duplicated).
+		s.dur.cutMu.RLock()
+		defer s.dur.cutMu.RUnlock()
+	}
+	key := component + "/" + metric
+	pts, err := s.shards[s.shardIndex(key)].Query(component, metric, from, to)
+	if err != nil && !errors.Is(err, ErrUnknownSeries) {
+		return nil, err
+	}
+	if s.dur == nil {
+		return pts, err
+	}
+	memKnown := err == nil
+	blkPts, blkKnown, berr := s.dur.queryBlocks(key, from, to)
+	if berr != nil {
+		return nil, berr
+	}
+	if !memKnown && !blkKnown {
+		return nil, err // the shard's ErrUnknownSeries
+	}
+	if len(blkPts) > 0 {
+		// Persisted points were drained earlier than anything still in
+		// memory; keeping them first and sorting stably preserves arrival
+		// order among equal timestamps, so results match the pre-flush
+		// (and pre-restart) store byte for byte.
+		s.netOut.Add(16 * int64(len(blkPts)))
+		pts = append(blkPts, pts...)
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+	}
+	return pts, nil
 }
 
-// SeriesKeys returns all component/metric keys across shards in sorted
-// order.
+// SeriesKeys returns all component/metric keys across shards — and, on a
+// durable store, persisted blocks — in sorted order.
 func (s *Sharded) SeriesKeys() []string {
-	var keys []string
-	for _, sh := range s.shards {
-		keys = append(keys, sh.SeriesKeys()...)
+	if s.dur == nil {
+		var keys []string
+		for _, sh := range s.shards {
+			keys = append(keys, sh.SeriesKeys()...)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	set := s.seriesKeySet()
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// MaxTime returns the largest timestamp ingested across shards (0 when
-// empty).
+// seriesKeySet unions in-memory and persisted series keys.
+func (s *Sharded) seriesKeySet() map[string]struct{} {
+	if s.dur != nil {
+		s.dur.cutMu.RLock()
+		defer s.dur.cutMu.RUnlock()
+	}
+	set := map[string]struct{}{}
+	for _, sh := range s.shards {
+		for _, k := range sh.SeriesKeys() {
+			set[k] = struct{}{}
+		}
+	}
+	if s.dur != nil {
+		s.dur.addSeriesKeys(set)
+	}
+	return set
+}
+
+// MaxTime returns the largest timestamp ingested across shards and, on a
+// durable store, persisted blocks (0 when empty) — so a restarted store
+// anchors its sliding window exactly where the previous life did.
 func (s *Sharded) MaxTime() int64 {
 	var max int64
 	for _, sh := range s.shards {
 		if t := sh.MaxTime(); t > max {
+			max = t
+		}
+	}
+	if s.dur != nil {
+		if t := s.dur.maxTime(); t > max {
 			max = t
 		}
 	}
@@ -159,7 +242,11 @@ func (s *Sharded) Flush() {
 }
 
 // Stats sums the per-shard accounting and adds the front door's wire
-// counters. Query-side network-out is charged inside the shards.
+// counters. Query-side network-out is charged inside the shards. On a
+// durable store, Points also counts points recovered from blocks (prior
+// lives' ingests), Series is the union of in-memory and persisted keys
+// (a series does not double-count when it spans both), and StorageBytes
+// adds the on-disk block chunks and live WAL segments.
 func (s *Sharded) Stats() Stats {
 	var out Stats
 	for _, sh := range s.shards {
@@ -174,5 +261,69 @@ func (s *Sharded) Stats() Stats {
 	out.NetworkInBytes += int(s.netIn.Load())
 	out.NetworkOutBytes += int(s.netOut.Load())
 	out.IngestCPU += time.Duration(s.ingestCPU.Load())
+	if s.dur != nil {
+		blockBytes, basePoints, _ := s.dur.diskStats()
+		out.Points += basePoints
+		out.StorageBytes += int(blockBytes)
+		for _, sh := range s.shards {
+			out.StorageBytes += int(sh.wal.sizeBytes())
+		}
+		out.Series = len(s.seriesKeySet())
+	}
 	return out
+}
+
+// Durable reports whether the store persists to disk.
+func (s *Sharded) Durable() bool { return s.dur != nil }
+
+// DataDir returns the data directory of a durable store ("" otherwise).
+func (s *Sharded) DataDir() string {
+	if s.dur == nil {
+		return ""
+	}
+	return s.dur.opts.Dir
+}
+
+// Checkpoint seals all in-memory data into an immutable Gorilla block
+// directory, prunes the WAL segments it covers, and enforces retention.
+// No-op on an in-memory store.
+func (s *Sharded) Checkpoint() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.checkpoint(s)
+}
+
+// Close stops the background fsync/flush tickers, checkpoints remaining
+// in-memory data, and closes WAL and block files. Safe to call twice;
+// no-op on an in-memory store. A store killed without Close recovers on
+// the next OpenSharded from blocks plus the WAL.
+func (s *Sharded) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.shutdown(s)
+}
+
+// routeReplay inserts WAL-recovered samples by the current key hash:
+// replay is positional on disk (one directory per previous-life shard)
+// but placement must follow today's shard count, which may differ.
+func (s *Sharded) routeReplay(samples []Sample) {
+	if len(s.shards) == 1 {
+		s.shards[0].replaySamples(samples)
+		return
+	}
+	for i, part := range s.partition(samples) {
+		if len(part) > 0 {
+			s.shards[i].replaySamples(part)
+		}
+	}
+}
+
+// reinsert splices stolen series snapshots back into their owning
+// shards after a failed cut or block write.
+func (s *Sharded) reinsert(snap map[string]*series) {
+	for key, sr := range snap {
+		s.shards[s.shardIndex(key)].reinsertSeries(key, sr)
+	}
 }

@@ -25,8 +25,9 @@ type Store interface {
 	Writer
 	ReadStore
 	// WriteSamples ingests already-decoded samples, accounting wireBytes
-	// as network-in traffic.
-	WriteSamples(samples []Sample, wireBytes int)
+	// as network-in traffic. On a durable store a write-ahead-log failure
+	// rejects the batch.
+	WriteSamples(samples []Sample, wireBytes int) error
 	// MaxTime returns the largest timestamp ingested so far, or 0 when
 	// the store is empty — the high-water mark windowed readers slide
 	// against.

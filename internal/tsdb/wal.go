@@ -1,0 +1,483 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FsyncPolicy controls when WAL appends are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) leaves appends in the OS page cache and
+	// fsyncs from a background ticker, bounding the post-crash loss window
+	// to DurabilityOptions.FsyncInterval of writes.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs after every appended batch: zero loss on power
+	// failure, at the cost of one disk flush per write.
+	FsyncAlways
+	// FsyncNever never fsyncs explicitly; durability is whatever the OS
+	// provides. Survives process crashes but not host crashes.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("tsdb: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// castagnoli is the CRC-32C table shared by WAL records and block chunks.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecordHeader is [4B payload length][4B CRC-32C of payload], both
+// little-endian, preceding every record.
+const walRecordHeader = 8
+
+// appendWALSamples encodes a batch of samples as one WAL record payload:
+// a uvarint count followed by, per sample, length-prefixed component and
+// metric strings, a zigzag-varint timestamp, and the raw float64 bits.
+func appendWALSamples(buf []byte, samples []Sample) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(samples)))
+	for _, s := range samples {
+		buf = binary.AppendUvarint(buf, uint64(len(s.Component)))
+		buf = append(buf, s.Component...)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Metric)))
+		buf = append(buf, s.Metric...)
+		buf = binary.AppendVarint(buf, s.T)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.V))
+	}
+	return buf
+}
+
+// decodeWALSamples decodes one record payload written by appendWALSamples.
+func decodeWALSamples(payload []byte) ([]Sample, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("tsdb: wal record: bad sample count")
+	}
+	payload = payload[n:]
+	// Each sample costs at least 2 length bytes + 1 timestamp byte + 8
+	// value bytes, so a corrupt count cannot force a huge allocation.
+	if count > uint64(len(payload)/11)+1 {
+		return nil, fmt.Errorf("tsdb: wal record claims %d samples in %d bytes", count, len(payload))
+	}
+	readStr := func() (string, error) {
+		l, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload)-n) < l {
+			return "", fmt.Errorf("tsdb: wal record: truncated string")
+		}
+		s := string(payload[n : n+int(l)])
+		payload = payload[n+int(l):]
+		return s, nil
+	}
+	out := make([]Sample, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var s Sample
+		var err error
+		if s.Component, err = readStr(); err != nil {
+			return nil, err
+		}
+		if s.Metric, err = readStr(); err != nil {
+			return nil, err
+		}
+		t, n := binary.Varint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("tsdb: wal record: truncated timestamp")
+		}
+		payload = payload[n:]
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("tsdb: wal record: truncated value")
+		}
+		s.T = t
+		s.V = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		payload = payload[8:]
+		out = append(out, s)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("tsdb: wal record: %d trailing bytes", len(payload))
+	}
+	return out, nil
+}
+
+// walSegmentName formats a segment sequence number as its file name.
+func walSegmentName(seq uint64) string { return fmt.Sprintf("%08d.wal", seq) }
+
+// listWALSegments returns the segment sequence numbers in dir, ascending.
+func listWALSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "%08d.wal", &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// walWriter appends CRC-framed sample batches to numbered segment files
+// in one directory (one walWriter per store shard). Appends happen under
+// the owning shard's lock; the internal mutex only coordinates with the
+// background fsync ticker and with segment rotation.
+type walWriter struct {
+	dir      string
+	policy   FsyncPolicy
+	segMax   int64 // roll to a new segment beyond this many bytes
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64 // sequence number of the open segment
+	size     int64  // bytes written to the open segment
+	retained int64  // bytes in older, still-live segments
+	dirty    bool   // unsynced appends (consulted by the fsync ticker)
+	syncErr  error  // pending background-fsync failure, surfaced by the next append
+	buf      []byte // encode scratch, reused across appends
+}
+
+// openWALWriter opens dir (creating it) and starts a fresh segment after
+// the highest existing one; existing segments are left for replay and
+// later truncation by checkpoints.
+func openWALWriter(dir string, policy FsyncPolicy, segMax int64) (*walWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	seqs, err := listWALSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var next uint64 = 1
+	var retained int64
+	for _, seq := range seqs {
+		if seq >= next {
+			next = seq + 1
+		}
+		if fi, err := os.Stat(filepath.Join(dir, walSegmentName(seq))); err == nil {
+			retained += fi.Size()
+		}
+	}
+	w := &walWriter{dir: dir, policy: policy, segMax: segMax, seq: next, retained: retained}
+	if w.f, err = w.create(next); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *walWriter) create(seq uint64) (*os.File, error) {
+	return os.OpenFile(filepath.Join(w.dir, walSegmentName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// append frames and writes one batch as a single record, rolling the
+// segment first when it is full. With FsyncAlways the record is on stable
+// storage when append returns.
+func (w *walWriter) append(samples []Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.syncErr != nil {
+		// A background fsync failed since the last append: the writes it
+		// covered may not be durable. Fail one write loudly instead of
+		// letting the store keep acknowledging on a sinking log.
+		err := w.syncErr
+		w.syncErr = nil
+		return fmt.Errorf("tsdb: wal fsync (background): %w", err)
+	}
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.buf = appendWALSamples(w.buf, samples)
+	payload := w.buf[walRecordHeader:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+
+	if w.size > 0 && w.size+int64(len(w.buf)) > w.segMax {
+		if err := w.rollLocked(); err != nil {
+			return err
+		}
+	}
+	if n, err := w.f.Write(w.buf); err != nil {
+		// Roll the torn record back so the next append starts on a clean
+		// frame boundary: garbage mid-segment would otherwise stop replay
+		// there and discard every later (even fsynced) record.
+		if n > 0 {
+			_ = w.f.Truncate(w.size)
+		}
+		return fmt.Errorf("tsdb: wal append: %w", err)
+	}
+	w.size += int64(len(w.buf))
+	if w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		}
+	} else {
+		w.dirty = true
+	}
+	return nil
+}
+
+// rollLocked closes the open segment (fsyncing it unless the policy is
+// never) and starts the next one.
+func (w *walWriter) rollLocked() error {
+	if w.policy != FsyncNever {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.retained += w.size
+	w.seq++
+	w.size = 0
+	w.dirty = false
+	f, err := w.create(w.seq)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+// rotate rolls to a fresh segment and returns its sequence number: every
+// record appended before rotate lives in a segment numbered below the
+// returned value, the cut checkpoints rely on. Callers must hold the
+// owning shard's lock so no append can interleave with the cut.
+func (w *walWriter) rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.rollLocked(); err != nil {
+		return 0, err
+	}
+	return w.seq, nil
+}
+
+// sync flushes unsynced appends to disk (the FsyncInterval ticker body).
+// On failure the segment stays dirty — the next tick retries — and the
+// error is kept for the next append to surface.
+func (w *walWriter) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.syncErr = err
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// removeSegmentsBelow deletes segments with sequence numbers < seq: their
+// records are covered by a persisted block, so replaying them would only
+// duplicate data.
+func (w *walWriter) removeSegmentsBelow(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seqs, err := listWALSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s >= seq {
+			continue
+		}
+		path := filepath.Join(w.dir, walSegmentName(s))
+		if fi, err := os.Stat(path); err == nil {
+			w.retained -= fi.Size()
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+	}
+	if w.retained < 0 {
+		w.retained = 0
+	}
+	return nil
+}
+
+// sizeBytes reports the bytes held by all live segments.
+func (w *walWriter) sizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.retained + w.size
+}
+
+// close fsyncs (unless the policy is never) and closes the open segment.
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if w.policy != FsyncNever {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// pruneWALSegmentsBelow removes segments with sequence numbers < seq
+// from a directory no writer has open yet (the recovery-time companion
+// of walWriter.removeSegmentsBelow). A missing directory is fine.
+func pruneWALSegmentsBelow(dir string, seq uint64) error {
+	seqs, err := listWALSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, s := range seqs {
+		if s < seq {
+			if err := os.Remove(filepath.Join(dir, walSegmentName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// walReplayStats summarizes one shard directory's replay.
+type walReplayStats struct {
+	Segments int
+	Records  int
+	Samples  int
+	// Repaired is true when replay hit a truncated or corrupt record: the
+	// segment was truncated at the last good offset and any later
+	// segments were discarded, mirroring Prometheus's WAL repair.
+	Repaired bool
+}
+
+// replayWAL reads every record of every segment in dir in order, calling
+// apply per decoded batch. A short or corrupt record ends the replay:
+// everything before it is applied, the bad tail is truncated away so the
+// next open starts clean, and later segments (written after the
+// corruption point, so of unknowable consistency) are removed.
+func replayWAL(dir string, apply func([]Sample)) (walReplayStats, error) {
+	var st walReplayStats
+	seqs, err := listWALSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	for i, seq := range seqs {
+		path := filepath.Join(dir, walSegmentName(seq))
+		good, recs, samples, err := replaySegment(path, apply)
+		st.Records += recs
+		st.Samples += samples
+		st.Segments++
+		if err != nil {
+			return st, err
+		}
+		if good >= 0 {
+			// Truncate the bad tail and drop all later segments.
+			st.Repaired = true
+			if err := os.Truncate(path, good); err != nil {
+				return st, err
+			}
+			for _, later := range seqs[i+1:] {
+				if err := os.Remove(filepath.Join(dir, walSegmentName(later))); err != nil {
+					return st, err
+				}
+			}
+			return st, nil
+		}
+	}
+	return st, nil
+}
+
+// replaySegment applies every whole, checksummed record of one segment.
+// It returns goodOffset >= 0 when it stopped at a truncated or corrupt
+// record (the offset where the segment should be cut), -1 when the
+// segment replayed cleanly to the end. Only a short read (the file
+// physically ends mid-record) counts as truncation; a real read error
+// aborts the whole recovery instead of destructively "repairing" a
+// segment that a transient disk hiccup merely failed to read.
+func replaySegment(path string, apply func([]Sample)) (goodOffset int64, records, samples int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return -1, 0, 0, err
+	}
+	defer f.Close()
+	var off int64
+	hdr := make([]byte, walRecordHeader)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			if err == io.EOF {
+				return -1, records, samples, nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				return off, records, samples, nil // truncated header
+			}
+			return -1, records, samples, fmt.Errorf("tsdb: reading %s: %w", path, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(length) > 1<<30 { // implausible: corrupt length field
+			return off, records, samples, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return off, records, samples, nil // truncated payload
+			}
+			return -1, records, samples, fmt.Errorf("tsdb: reading %s: %w", path, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return off, records, samples, nil // corrupt payload
+		}
+		batch, err := decodeWALSamples(payload)
+		if err != nil {
+			return off, records, samples, nil // framing ok, content corrupt
+		}
+		apply(batch)
+		records++
+		samples += len(batch)
+		off += walRecordHeader + int64(length)
+	}
+}

@@ -34,7 +34,12 @@
 // (NewServer, Serve): a long-running server with sharded line-protocol
 // ingestion over HTTP and an online driver that re-runs the analysis
 // over a sliding window, serving the latest Artifact — and the live
-// autoscaling signal — from its /artifact endpoint.
+// autoscaling signal — from its /artifact endpoint. With
+// ServerOptions.DataDir set, the store is durable: writes are covered by
+// a per-shard CRC-checked write-ahead log and periodically sealed into
+// immutable Gorilla-compressed block files with configurable retention,
+// so a killed server recovers its data on restart (see
+// docs/ARCHITECTURE.md for the storage engine's design).
 //
 // # Quick start
 //
@@ -311,7 +316,10 @@ func RefineThresholds(metricValues, latencies []float64, slaMS float64) (up, dow
 type Server = server.Server
 
 // ServerOptions configures a Server: shard count, sampling grid, window
-// width, recompute cadence, analysis parallelism, optional topology.
+// width, recompute cadence, analysis parallelism, optional topology —
+// and durability: DataDir enables the WAL + compressed-block storage
+// engine, Retention bounds its disk use, Fsync picks the WAL sync
+// policy ("always", "interval", "never").
 type ServerOptions = server.Options
 
 // ServerClient speaks the sieved HTTP API. It implements the store's
@@ -326,6 +334,9 @@ type ServerRunInfo = server.RunInfo
 // Server.ListenAndServe to serve (it also starts the online pipeline
 // driver), or Server.Handler to embed it in an existing HTTP server —
 // then start the driver with Server.Start or trigger runs via POST /run.
+// With opts.DataDir set, NewServer recovers the previous life's data
+// (block files plus WAL replay) before returning; embedders must then
+// call Server.Close on shutdown (ListenAndServe does it itself).
 func NewServer(opts ServerOptions) (*Server, error) {
 	return server.New(opts)
 }
