@@ -31,10 +31,12 @@ type Client struct {
 var _ tsdb.Writer = (*Client)(nil)
 
 // apiError carries the HTTP status of a failed call so callers can
-// distinguish "not yet" (404) from real failures.
+// distinguish "not yet" (404) from real failures, plus the server's
+// stored-sample count for partially failed writes.
 type apiError struct {
 	status int
 	msg    string
+	stored int
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -64,13 +66,14 @@ func (c *Client) do(method, path string, contentType string, body []byte, out an
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		var je struct {
-			Error string `json:"error"`
+			Error  string `json:"error"`
+			Stored int    `json:"stored"`
 		}
 		detail := resp.Status
 		if json.Unmarshal(msg, &je) == nil && je.Error != "" {
 			detail = je.Error + " (" + resp.Status + ")"
 		}
-		return &apiError{status: resp.StatusCode, msg: fmt.Sprintf("server: %s %s: %s", method, path, detail)}
+		return &apiError{status: resp.StatusCode, msg: fmt.Sprintf("server: %s %s: %s", method, path, detail), stored: je.Stored}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -85,10 +88,18 @@ func (c *Client) do(method, path string, contentType string, body []byte, out an
 }
 
 // Write ships a line-protocol payload to POST /write and returns the
-// number of samples the server stored (tsdb.Writer).
+// number of samples the server stored (tsdb.Writer). The count is
+// meaningful alongside a non-nil error: a multi-shard durable server
+// can fail partially, and the stored subset is hash-routed — not a
+// payload prefix — so the count is for accounting and reconciliation
+// (via Query), never a resume cursor.
 func (c *Client) Write(payload []byte) (int, error) {
 	var h http.Header
 	if err := c.do(http.MethodPost, "/write", "text/plain; charset=utf-8", payload, &h); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return ae.stored, err
+		}
 		return 0, err
 	}
 	n, err := strconv.Atoi(h.Get("X-Sieve-Samples"))

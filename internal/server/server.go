@@ -224,7 +224,22 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	n, err := s.store.Write(body)
 	if err != nil {
 		s.writeErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.samples.Add(int64(n))
+		// Parse errors are the client's (400); storage errors are ours
+		// (500), even when nothing was stored — a full disk must not read
+		// as "malformed payload" to a client that drops 4xx as permanent.
+		// A multi-shard durable store can also fail partially: n samples
+		// were stored before the error, surfaced in header and body. The
+		// stored subset is hash-routed, not a payload prefix, so resending
+		// any of the payload duplicates points — reconcile via /query.
+		w.Header().Set("X-Sieve-Samples", strconv.Itoa(n))
+		status := http.StatusBadRequest
+		if errors.Is(err, tsdb.ErrStorage) {
+			status = http.StatusInternalServerError
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "stored": n})
 		return
 	}
 	s.writes.Add(1)
@@ -296,6 +311,12 @@ type StatsResponse struct {
 	IngestCPUMS     int64 `json:"ingest_cpu_ms"`
 	MaxTimeMS       int64 `json:"max_time_ms"`
 
+	// Checkpoint health of a durable store: failed attempts since open
+	// and the latest failure message ("" while healthy). A growing count
+	// means WAL segments are piling up with no blocks being written.
+	CheckpointFailures  int    `json:"checkpoint_failures,omitempty"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+
 	Writes      int64 `json:"writes"`
 	WriteErrors int64 `json:"write_errors"`
 	Samples     int64 `json:"samples"`
@@ -311,25 +332,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	lastErr := s.lastErr
 	s.mu.RUnlock()
 	writeJSON(w, StatsResponse{
-		App:             s.opts.AppName,
-		Shards:          s.store.NumShards(),
-		StepMS:          s.opts.StepMS,
-		WindowMS:        s.opts.WindowMS,
-		DataDir:         s.store.DataDir(),
-		Durable:         s.store.Durable(),
-		Points:          st.Points,
-		Series:          st.Series,
-		StorageBytes:    st.StorageBytes,
-		NetworkInBytes:  st.NetworkInBytes,
-		NetworkOutBytes: st.NetworkOutBytes,
-		IngestCPUMS:     st.IngestCPU.Milliseconds(),
-		MaxTimeMS:       s.store.MaxTime(),
-		Writes:          s.writes.Load(),
-		WriteErrors:     s.writeErrors.Load(),
-		Samples:         s.samples.Load(),
-		Generation:      s.generation.Load(),
-		PipelineRuns:    s.runs.Load(),
-		LastError:       lastErr,
+		App:                 s.opts.AppName,
+		Shards:              s.store.NumShards(),
+		StepMS:              s.opts.StepMS,
+		WindowMS:            s.opts.WindowMS,
+		DataDir:             s.store.DataDir(),
+		Durable:             s.store.Durable(),
+		Points:              st.Points,
+		Series:              st.Series,
+		StorageBytes:        st.StorageBytes,
+		NetworkInBytes:      st.NetworkInBytes,
+		NetworkOutBytes:     st.NetworkOutBytes,
+		IngestCPUMS:         st.IngestCPU.Milliseconds(),
+		MaxTimeMS:           s.store.MaxTime(),
+		CheckpointFailures:  st.CheckpointFailures,
+		LastCheckpointError: st.LastCheckpointError,
+		Writes:              s.writes.Load(),
+		WriteErrors:         s.writeErrors.Load(),
+		Samples:             s.samples.Load(),
+		Generation:          s.generation.Load(),
+		PipelineRuns:        s.runs.Load(),
+		LastError:           lastErr,
 	})
 }
 

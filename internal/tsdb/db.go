@@ -13,6 +13,12 @@ import (
 // "not here" apart from real failures.
 var ErrUnknownSeries = errors.New("tsdb: unknown series")
 
+// ErrStorage is wrapped by ingest errors that originate on the storage
+// side (a WAL append or fsync failure) rather than in the client's
+// payload: the request was well-formed and may succeed once the disk
+// recovers, so HTTP front ends map it to a 5xx, not a 4xx.
+var ErrStorage = errors.New("tsdb: storage failure")
+
 // blockSize is the number of points buffered per series before the tail
 // is compressed into a Gorilla block.
 const blockSize = 512
@@ -35,6 +41,15 @@ type Stats struct {
 	// IngestCPU is the cumulative wall time spent parsing and storing
 	// writes (a proxy for the monitoring stack's CPU overhead).
 	IngestCPU time.Duration
+	// CheckpointFailures counts checkpoint attempts that failed on a
+	// durable store since it was opened (always 0 for in-memory stores).
+	// The background flusher retries every FlushInterval, so a growing
+	// count means blocks are not being written and WAL segments are
+	// accumulating without bound (e.g. the disk is full).
+	CheckpointFailures int
+	// LastCheckpointError is the most recent checkpoint failure message,
+	// cleared once a later checkpoint succeeds.
+	LastCheckpointError string
 }
 
 // series holds one component/metric stream: sealed compressed blocks plus

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -87,6 +88,16 @@ type durable struct {
 	// the observations the store actually holds.
 	basePoints int
 
+	// Checkpoint health, guarded by mu: ckptFailures counts failed
+	// attempts since open, lastCkptErr holds the latest failure message
+	// (cleared by the next success), and ckptFailing dedupes the log
+	// lines to one per state change — the background flusher retries
+	// every FlushInterval, and a persistent failure (disk full) must not
+	// stay silent while WAL segments accumulate unboundedly.
+	ckptFailures int
+	lastCkptErr  string
+	ckptFailing  bool
+
 	// staleWAL maps shard index -> directory for WAL dirs left over from
 	// a previous life that ran with a higher shard count. Their records
 	// were hash-routed into the current shards at open; the first
@@ -122,6 +133,12 @@ func OpenSharded(n int, opts DurabilityOptions) (*Sharded, error) {
 		return nil, fmt.Errorf("tsdb: OpenSharded: empty data directory")
 	}
 	s := NewSharded(n)
+	// NewSharded resolves n <= 0 to GOMAXPROCS (server.Options.Shards and
+	// cmd/sieved's -shards both default to 0). Every directory comparison
+	// below must use the resolved count: with the raw 0, each live shard
+	// dir would look like leftovers from a bigger previous life and the
+	// first checkpoint would delete them out from under their writers.
+	n = s.NumShards()
 	d := &durable{opts: opts, blocksDir: filepath.Join(opts.Dir, "blocks"), stop: make(chan struct{})}
 
 	blocks, err := openBlocks(d.blocksDir)
@@ -284,12 +301,55 @@ func (d *durable) flushLoop(s *Sharded) {
 		case <-d.stop:
 			return
 		case <-t.C:
+			// Failures are not dropped: checkpoint records them for Stats
+			// and logs state changes, so a wedged flusher is observable.
 			_ = s.Checkpoint()
 		}
 	}
 }
 
-// checkpoint seals all in-memory data into one immutable block and prunes
+// noteCheckpointResult updates the checkpoint-health counters and logs
+// once per state change (failing -> recovered and back), never per tick.
+func (d *durable) noteCheckpointResult(err error) {
+	d.mu.Lock()
+	var transition string
+	if err != nil {
+		d.ckptFailures++
+		d.lastCkptErr = err.Error()
+		if !d.ckptFailing {
+			d.ckptFailing = true
+			transition = fmt.Sprintf("tsdb: checkpoint failing (retrying every %s): %v", d.opts.FlushInterval, err)
+		}
+	} else {
+		d.lastCkptErr = ""
+		if d.ckptFailing {
+			d.ckptFailing = false
+			transition = "tsdb: checkpoint recovered"
+		}
+	}
+	d.mu.Unlock()
+	if transition != "" {
+		log.Print(transition)
+	}
+}
+
+// checkpointStats reports checkpoint health for Stats.
+func (d *durable) checkpointStats() (failures int, lastErr string) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ckptFailures, d.lastCkptErr
+}
+
+// checkpoint runs one checkpoint and records its outcome in the health
+// counters, whoever triggered it (background flusher, Checkpoint caller,
+// or shutdown).
+func (d *durable) checkpoint(s *Sharded) error {
+	err := d.runCheckpoint(s)
+	d.noteCheckpointResult(err)
+	return err
+}
+
+// runCheckpoint seals all in-memory data into one immutable block and prunes
 // the WAL segments the block now covers. The cut is consistent: each
 // shard rotates its WAL and hands over its series structures under one
 // lock hold, so every point is either in the stolen snapshot (and then
@@ -297,7 +357,7 @@ func (d *durable) flushLoop(s *Sharded) {
 // Only the cheap handover happens under the reader-excluding cutMu;
 // decoding and compressing the snapshot runs with readers live, served
 // by the flushing overlay.
-func (d *durable) checkpoint(s *Sharded) error {
+func (d *durable) runCheckpoint(s *Sharded) error {
 	d.flushMu.Lock()
 	defer d.flushMu.Unlock()
 
@@ -424,23 +484,33 @@ func (d *durable) enforceRetention(maxTime int64) error {
 	horizon := maxTime - d.opts.RetentionMS
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	kept := d.blocks[:0]
+	// Build the surviving list aside and publish it even when a removal
+	// fails: an expired block leaves the list the moment its close is
+	// attempted, because a half-closed block must never serve queries —
+	// and filtering d.blocks in place would otherwise leave a
+	// partially-overwritten list (duplicated survivors) on early return.
+	// A directory whose removal fails leaks for the rest of this
+	// process's life (the block left the list, so nothing here revisits
+	// it); the next open re-indexes it and its retention pass sweeps it.
+	kept := make([]*block, 0, len(d.blocks))
+	var firstErr error
 	for _, b := range d.blocks {
 		if b.meta.MaxT >= horizon {
 			kept = append(kept, b)
 			continue
 		}
-		if err := b.close(); err != nil {
-			return err
-		}
-		if err := os.RemoveAll(b.dir); err != nil {
-			return err
-		}
-		// Keep the Points balance honest: these observations are gone.
+		// Keep the Points balance honest: these observations are gone
+		// from the store's view whether or not the files disappear.
 		d.basePoints -= b.meta.Points
+		if err := b.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := os.RemoveAll(b.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	d.blocks = kept
-	return nil
+	return firstErr
 }
 
 // queryBlocks returns the persisted points for key with T in [from, to),

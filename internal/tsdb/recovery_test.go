@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -190,6 +191,150 @@ func TestDurableRecoveryShardCountChangeWithLiveWAL(t *testing.T) {
 	if got, want := re2.Stats().Points, ref.Stats().Points; got != want {
 		t.Fatalf("recovered %d points, want %d", got, want)
 	}
+}
+
+// TestDurableRestartDefaultShardCount opens every life with shards=0,
+// the default of server.Options.Shards and cmd/sieved's -shards flag
+// (NewSharded resolves it to GOMAXPROCS). The replay bookkeeping must
+// compare WAL directory indices against the resolved count: against the
+// raw 0 every live shard directory looks stale, and the first checkpoint
+// of the new life would record it as fully covered and delete it out
+// from under its writer — silently losing every later write.
+func TestDurableRestartDefaultShardCount(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 0)
+	ref := NewSharded(0)
+	for i := 0; i < 10; i++ {
+		recoveryWrite(t, recoveryBatch(i, 5, 3), s, ref)
+	}
+	// Hard stop; second life, same default count.
+	re := openCrashable(t, dir, 0)
+	assertSameContents(t, re, ref, "default-shards restart")
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The live WAL dirs must have survived the checkpoint: writes after
+	// it still reach durable storage.
+	for i := 0; i < re.NumShards(); i++ {
+		if _, err := os.Stat(filepath.Join(dir, "wal", fmt.Sprintf("shard-%04d", i))); err != nil {
+			t.Fatalf("live WAL dir of shard %d gone after checkpoint: %v", i, err)
+		}
+	}
+	for i := 10; i < 16; i++ {
+		recoveryWrite(t, recoveryBatch(i, 5, 3), re, ref)
+	}
+	// Hard stop again: the third life must see the post-checkpoint writes.
+	re2 := openCrashable(t, dir, 0)
+	defer re2.Close()
+	assertSameContents(t, re2, ref, "default-shards second restart")
+	if got, want := re2.Stats().Points, ref.Stats().Points; got != want {
+		t.Fatalf("recovered %d points, want %d", got, want)
+	}
+}
+
+// TestDurableCheckpointFailureSurfaced forces checkpoints to fail (the
+// blocks dir is replaced by a regular file, the shape of a persistently
+// sick disk) and asserts the failure is visible in Stats instead of
+// being swallowed, then clears once checkpoints succeed again — and that
+// no data was lost across the failed attempts.
+func TestDurableCheckpointFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 2)
+	ref := NewSharded(2)
+	for i := 0; i < 6; i++ {
+		recoveryWrite(t, recoveryBatch(i, 4, 3), s, ref)
+	}
+	blocksDir := filepath.Join(dir, "blocks")
+	if err := os.RemoveAll(blocksDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blocksDir, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := s.Checkpoint(); err == nil {
+			t.Fatal("checkpoint against a dead blocks dir should fail")
+		}
+		st := s.Stats()
+		if st.CheckpointFailures != i {
+			t.Fatalf("CheckpointFailures = %d, want %d", st.CheckpointFailures, i)
+		}
+		if st.LastCheckpointError == "" {
+			t.Fatal("LastCheckpointError empty after a failed checkpoint")
+		}
+	}
+	// Failed cuts must have spliced the data back: nothing lost.
+	assertSameContents(t, s, ref, "after failed checkpoints")
+	// Disk repaired: the next checkpoint succeeds and clears the error.
+	if err := os.Remove(blocksDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(blocksDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after repair: %v", err)
+	}
+	st := s.Stats()
+	if st.CheckpointFailures != 2 {
+		t.Fatalf("CheckpointFailures = %d, want 2 (count is cumulative)", st.CheckpointFailures)
+	}
+	if st.LastCheckpointError != "" {
+		t.Fatalf("LastCheckpointError = %q, want cleared", st.LastCheckpointError)
+	}
+	assertSameContents(t, s, ref, "after recovered checkpoint")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurablePartialWriteReportsStored kills one shard's WAL and writes
+// a batch spanning all shards: Write must report exactly the samples the
+// healthy shards stored alongside the error, so a client can tell a
+// partial success from a clean failure (and not blindly replay the whole
+// payload, duplicating the stored points).
+func TestDurablePartialWriteReportsStored(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 2)
+	batch := recoveryBatch(0, 8, 3)
+	// Sever shard 0's WAL out from under it: appends to it now fail.
+	if err := s.shards[0].wal.close(); err != nil {
+		t.Fatal(err)
+	}
+	var healthy int
+	for _, smp := range batch {
+		if s.shardIndex(smp.Key()) != 0 {
+			healthy++
+		}
+	}
+	if healthy == 0 || healthy == len(batch) {
+		t.Fatalf("batch must span both shards, got %d/%d on shard 1", healthy, len(batch))
+	}
+	n, err := s.Write(EncodeLineProtocol(batch))
+	if err == nil {
+		t.Fatal("write through a dead WAL should fail")
+	}
+	if !errors.Is(err, ErrStorage) {
+		t.Fatalf("want ErrStorage-wrapped failure (front ends map it to 5xx), got %v", err)
+	}
+	if n != healthy {
+		t.Fatalf("Write reported %d stored samples, want %d (healthy shard's share)", n, healthy)
+	}
+	// The healthy shard's samples really are queryable.
+	var served int
+	for _, key := range s.SeriesKeys() {
+		comp, metric := splitKey(key)
+		pts, err := s.Query(comp, metric, 0, 1<<62)
+		if err != nil {
+			t.Fatalf("query %s: %v", key, err)
+		}
+		served += len(pts)
+	}
+	if served != healthy {
+		t.Fatalf("stored %d points, want %d", served, healthy)
+	}
+	// No Close: shard 0's WAL is already gone; the store is abandoned
+	// like a crashed process.
 }
 
 func TestDurableCrashMidFlush(t *testing.T) {

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -92,51 +93,72 @@ func (s *Sharded) partition(samples []Sample) [][]Sample {
 	return parts
 }
 
-func (s *Sharded) ingest(samples []Sample, wireBytes int, start time.Time) error {
+// ingest partitions and appends a decoded batch, returning how many
+// samples were actually stored: on a multi-shard durable store one
+// shard's WAL failure drops only that shard's sub-batch, so stored can
+// be anywhere in [0, len(samples)] alongside a non-nil error.
+func (s *Sharded) ingest(samples []Sample, wireBytes int, start time.Time) (int, error) {
+	var stored int
 	var err error
 	if len(s.shards) == 1 {
 		// Single shard: nothing to partition.
 		s.ingestCPU.Add(int64(time.Since(start)))
-		err = s.shards[0].appendSamples(samples)
+		if err = s.shards[0].appendSamples(samples); err == nil {
+			stored = len(samples)
+		}
 	} else {
 		parts := s.partition(samples)
 		s.ingestCPU.Add(int64(time.Since(start)))
 		for i, part := range parts {
-			if len(part) > 0 {
-				if aerr := s.shards[i].appendSamples(part); aerr != nil && err == nil {
+			if len(part) == 0 {
+				continue
+			}
+			if aerr := s.shards[i].appendSamples(part); aerr != nil {
+				if err == nil {
 					err = aerr
 				}
+			} else {
+				stored += len(part)
 			}
 		}
 	}
 	s.netIn.Add(int64(wireBytes))
 	s.netOut.Add(ackBytes)
-	return err
+	if err != nil {
+		// Append failures are storage-side (WAL write/fsync), never a
+		// payload problem: mark them so front ends report a server error.
+		err = fmt.Errorf("%w: %w", ErrStorage, err)
+	}
+	return stored, err
 }
 
 // Write ingests a line-protocol payload, returning the number of samples
 // stored. Parsing and partitioning happen outside any shard lock. On a
 // durable store a WAL append failure fails the write; with multiple
 // shards the failure can be partial — sub-batches routed to healthy
-// shards are stored and logged, only the failing shard's samples are
-// dropped (the partial-write semantics of real TSDBs: per-shard
-// atomicity, not per-batch).
+// shards are stored, only the failing shard's samples are dropped (the
+// partial-write semantics of real TSDBs: per-shard atomicity, not
+// per-batch). The returned count is the samples that were stored even
+// when err is non-nil. The stored subset is hash-determined (whichever
+// samples routed to healthy shards), NOT a prefix of the payload, so
+// the count is an accounting signal, not a resume cursor: resending any
+// part of the payload duplicates the stored points. A client that needs
+// exactness after a partial failure must reconcile via Query.
 func (s *Sharded) Write(payload []byte) (int, error) {
 	start := time.Now()
 	samples, err := ParseLineProtocol(payload)
 	if err != nil {
 		return 0, err
 	}
-	if err := s.ingest(samples, len(payload), start); err != nil {
-		return 0, err
-	}
-	return len(samples), nil
+	return s.ingest(samples, len(payload), start)
 }
 
 // WriteSamples ingests already-decoded samples, accounting wireBytes as
-// network-in traffic.
+// network-in traffic. Like Write, a multi-shard failure can be partial;
+// callers that need the stored count use Write.
 func (s *Sharded) WriteSamples(samples []Sample, wireBytes int) error {
-	return s.ingest(samples, wireBytes, time.Now())
+	_, err := s.ingest(samples, wireBytes, time.Now())
+	return err
 }
 
 // Query returns the points of component/metric with T in [from, to): the
@@ -269,6 +291,7 @@ func (s *Sharded) Stats() Stats {
 			out.StorageBytes += int(sh.wal.sizeBytes())
 		}
 		out.Series = len(s.seriesKeySet())
+		out.CheckpointFailures, out.LastCheckpointError = s.dur.checkpointStats()
 	}
 	return out
 }

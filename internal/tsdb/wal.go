@@ -166,7 +166,13 @@ type walWriter struct {
 	retained int64  // bytes in older, still-live segments
 	dirty    bool   // unsynced appends (consulted by the fsync ticker)
 	syncErr  error  // pending background-fsync failure, surfaced by the next append
-	buf      []byte // encode scratch, reused across appends
+	// pendingTrunc records a failed rollback of a rejected record: the
+	// phantom bytes (a complete, CRC-valid frame the client was told
+	// failed) are still in the segment past w.size, and nothing may
+	// append, roll, or close after them until they are cut out — replay
+	// would otherwise resurrect the failed write.
+	pendingTrunc bool
+	buf          []byte // encode scratch, reused across appends
 }
 
 // openWALWriter opens dir (creating it) and starts a fresh segment after
@@ -218,6 +224,9 @@ func (w *walWriter) append(samples []Sample) error {
 		w.syncErr = nil
 		return fmt.Errorf("tsdb: wal fsync (background): %w", err)
 	}
+	if err := w.clearPendingTruncLocked(); err != nil {
+		return err
+	}
 	w.buf = w.buf[:0]
 	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
 	w.buf = appendWALSamples(w.buf, samples)
@@ -234,25 +243,53 @@ func (w *walWriter) append(samples []Sample) error {
 		// Roll the torn record back so the next append starts on a clean
 		// frame boundary: garbage mid-segment would otherwise stop replay
 		// there and discard every later (even fsynced) record.
-		if n > 0 {
-			_ = w.f.Truncate(w.size)
+		if n > 0 && w.f.Truncate(w.size) != nil {
+			w.pendingTrunc = true
 		}
 		return fmt.Errorf("tsdb: wal append: %w", err)
 	}
-	w.size += int64(len(w.buf))
 	if w.policy == FsyncAlways {
 		if err := w.f.Sync(); err != nil {
+			// The batch is rejected: it never reaches memory and the
+			// client sees an error. Cut the record back out of the segment
+			// so a later replay cannot resurrect a write the client was
+			// told failed (a retry would then duplicate it). If the same
+			// sick disk also fails the cut, remember it: the next append,
+			// roll, or close must retry before anything lands after the
+			// phantom record.
+			if w.f.Truncate(w.size) != nil {
+				w.pendingTrunc = true
+			}
 			return fmt.Errorf("tsdb: wal fsync: %w", err)
 		}
 	} else {
 		w.dirty = true
 	}
+	w.size += int64(len(w.buf))
+	return nil
+}
+
+// clearPendingTruncLocked retries a previously failed rollback of a
+// rejected record; until it succeeds the segment must not accept
+// appends, roll, or seal on close — the phantom frame past w.size is
+// CRC-valid and replay would resurrect it.
+func (w *walWriter) clearPendingTruncLocked() error {
+	if !w.pendingTrunc {
+		return nil
+	}
+	if err := w.f.Truncate(w.size); err != nil {
+		return fmt.Errorf("tsdb: wal: cutting rejected record: %w", err)
+	}
+	w.pendingTrunc = false
 	return nil
 }
 
 // rollLocked closes the open segment (fsyncing it unless the policy is
 // never) and starts the next one.
 func (w *walWriter) rollLocked() error {
+	if err := w.clearPendingTruncLocked(); err != nil {
+		return err
+	}
 	if w.policy != FsyncNever {
 		if err := w.f.Sync(); err != nil {
 			return err
@@ -345,12 +382,17 @@ func (w *walWriter) close() error {
 	if w.f == nil {
 		return nil
 	}
+	// A phantom record that still cannot be cut out is surfaced, but the
+	// file is closed either way: holding the fd open cannot fix the disk.
+	err := w.clearPendingTruncLocked()
 	if w.policy != FsyncNever {
-		if err := w.f.Sync(); err != nil {
-			return err
+		if serr := w.f.Sync(); serr != nil && err == nil {
+			err = serr
 		}
 	}
-	err := w.f.Close()
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	w.f = nil
 	return err
 }
