@@ -7,7 +7,8 @@
 //
 //	sieved [-addr :8086] [-shards N] [-window 240s] [-interval 30s]
 //	       [-step 500ms] [-app NAME] [-parallelism N]
-//	       [-data-dir DIR] [-retention 24h] [-fsync interval]
+//	       [-query-parallelism N] [-data-dir DIR] [-retention 24h]
+//	       [-fsync interval]
 //
 // With -data-dir the store is durable: writes go through a per-shard
 // write-ahead log and are periodically sealed into Gorilla-compressed
@@ -18,6 +19,7 @@
 //
 //	curl -X POST --data-binary 'web,metric=cpu value=0.5 500' http://localhost:8086/write
 //	curl http://localhost:8086/stats
+//	curl 'http://localhost:8086/query_range?component=web*&agg=max&step=60000'
 //	curl http://localhost:8086/artifact
 package main
 
@@ -41,6 +43,7 @@ func main() {
 	step := flag.Duration("step", 500*time.Millisecond, "analysis sampling grid")
 	appName := flag.String("app", "sieved", "application label on artifacts")
 	parallelism := flag.Int("parallelism", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	queryParallelism := flag.Int("query-parallelism", 0, "per-series fan-out of /query_range matcher reads (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	retention := flag.Duration("retention", 0, "drop on-disk blocks older than this much ingest time (0 = keep forever)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
@@ -48,16 +51,17 @@ func main() {
 	flag.Parse()
 
 	opts := sieve.ServerOptions{
-		AppName:       *appName,
-		Shards:        *shards,
-		StepMS:        step.Milliseconds(),
-		WindowMS:      window.Milliseconds(),
-		Interval:      *interval,
-		Parallelism:   *parallelism,
-		DataDir:       *dataDir,
-		Retention:     *retention,
-		Fsync:         *fsync,
-		FlushInterval: *flushInterval,
+		AppName:          *appName,
+		Shards:           *shards,
+		StepMS:           step.Milliseconds(),
+		WindowMS:         window.Milliseconds(),
+		Interval:         *interval,
+		Parallelism:      *parallelism,
+		QueryParallelism: *queryParallelism,
+		DataDir:          *dataDir,
+		Retention:        *retention,
+		Fsync:            *fsync,
+		FlushInterval:    *flushInterval,
 	}
 	srv, err := sieve.NewServer(opts)
 	if err != nil {

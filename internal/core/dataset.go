@@ -165,6 +165,12 @@ func CaptureContext(ctx context.Context, a *app.App, pattern loadgen.Pattern, op
 // DatasetFromDB reads every series in the store — any tsdb.ReadStore,
 // including the sharded server store — resamples it onto the given grid,
 // and assembles a Dataset (without a call graph).
+//
+// Stores that provide the query engine (tsdb.RangeQuerier: DB, Sharded)
+// are read with ONE matcher query over the whole window instead of a
+// SeriesKeys call plus one Query round trip per series; results are
+// bit-identical, the matcher path just avoids N lock/merge cycles and
+// lets the store fan the series out across its shards.
 func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) (*Dataset, error) {
 	if end <= start {
 		return nil, fmt.Errorf("core: empty capture window [%d,%d)", start, end)
@@ -176,33 +182,48 @@ func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) 
 		End:    end,
 		Series: map[string]map[string]*timeseries.Regular{},
 	}
-	for _, key := range db.SeriesKeys() {
-		slash := strings.IndexByte(key, '/')
-		if slash < 0 {
-			return nil, fmt.Errorf("core: malformed series key %q", key)
-		}
-		component, metric := key[:slash], key[slash+1:]
-		pts, err := db.Query(component, metric, start, end)
+	if rq, ok := db.(tsdb.RangeQuerier); ok {
+		results, err := rq.QueryMatch("*", "*", start, end)
 		if err != nil {
-			return nil, fmt.Errorf("core: reading %q: %w", key, err)
+			return nil, fmt.Errorf("core: matcher query over window: %w", err)
 		}
-		raw := &timeseries.Series{Name: metric}
-		for _, p := range pts {
-			raw.Append(p.T, p.V)
+		for _, res := range results {
+			addResampled(ds, res.Component, res.Metric, res.Points, start, end, stepMS)
 		}
-		reg, err := timeseries.Resample(raw, start, end, stepMS)
-		if err != nil {
-			// Series with no usable points in the window (e.g. created at
-			// the very end) are skipped, not fatal.
-			continue
+	} else {
+		for _, key := range db.SeriesKeys() {
+			slash := strings.IndexByte(key, '/')
+			if slash < 0 {
+				return nil, fmt.Errorf("core: malformed series key %q", key)
+			}
+			component, metric := key[:slash], key[slash+1:]
+			pts, err := db.Query(component, metric, start, end)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading %q: %w", key, err)
+			}
+			addResampled(ds, component, metric, pts, start, end, stepMS)
 		}
-		if ds.Series[component] == nil {
-			ds.Series[component] = map[string]*timeseries.Regular{}
-		}
-		ds.Series[component][metric] = reg
 	}
 	if len(ds.Series) == 0 {
 		return nil, errors.New("core: capture produced no series")
 	}
 	return ds, nil
+}
+
+// addResampled resamples one series' raw points onto the grid and adds
+// it to the dataset. Series with no usable points in the window (e.g.
+// created at the very end) are skipped, not fatal.
+func addResampled(ds *Dataset, component, metric string, pts []tsdb.Point, start, end, stepMS int64) {
+	raw := &timeseries.Series{Name: metric}
+	for _, p := range pts {
+		raw.Append(p.T, p.V)
+	}
+	reg, err := timeseries.Resample(raw, start, end, stepMS)
+	if err != nil {
+		return
+	}
+	if ds.Series[component] == nil {
+		ds.Series[component] = map[string]*timeseries.Regular{}
+	}
+	ds.Series[component][metric] = reg
 }

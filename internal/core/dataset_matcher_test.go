@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// legacyReadStore hides the query engine from DatasetFromDB, forcing the
+// pre-matcher path: SeriesKeys plus one Query round trip per series.
+type legacyReadStore struct{ s tsdb.ReadStore }
+
+func (l legacyReadStore) Query(component, metric string, from, to int64) ([]tsdb.Point, error) {
+	return l.s.Query(component, metric, from, to)
+}
+func (l legacyReadStore) SeriesKeys() []string { return l.s.SeriesKeys() }
+
+// TestDatasetFromDBMatcherEquivalence pins the matcher-query rewrite of
+// DatasetFromDB: the single QueryMatch over the window must produce a
+// dataset — and a marshaled pipeline artifact — bit-identical to the
+// legacy per-series round-trip path, on both the single-mutex DB and the
+// sharded store.
+func TestDatasetFromDBMatcherEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var samples []tsdb.Sample
+	for i := 0; i < 900; i++ {
+		for c := 0; c < 3; c++ {
+			for m := 0; m < 3; m++ {
+				samples = append(samples, tsdb.Sample{
+					Component: fmt.Sprintf("svc-%d", c),
+					Metric:    fmt.Sprintf("metric_%d", m),
+					T:         int64(i) * 500,
+					V:         rng.NormFloat64()*10 + float64(c*m),
+				})
+			}
+		}
+	}
+	// One series entirely outside the window: both paths must skip it.
+	samples = append(samples, tsdb.Sample{Component: "svc-0", Metric: "late", T: 10_000_000, V: 1})
+
+	stores := map[string]tsdb.Store{"db": tsdb.New(), "sharded": tsdb.NewSharded(4)}
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			if err := store.WriteSamples(samples, 0); err != nil {
+				t.Fatal(err)
+			}
+			const start, end, step = 0, 450_000, 500
+			viaMatcher, err := DatasetFromDB(store, "app", step, start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaLegacy, err := DatasetFromDB(legacyReadStore{store}, "app", step, start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaMatcher.Series, viaLegacy.Series) {
+				t.Fatal("matcher-path dataset differs from legacy per-series path")
+			}
+			if viaMatcher.Get("svc-0", "late") != nil {
+				t.Fatal("out-of-window series must be skipped")
+			}
+
+			// Full artifact round trip: reduce both datasets and compare the
+			// serialized artifacts byte for byte.
+			marshal := func(ds *Dataset) []byte {
+				t.Helper()
+				red, err := Reduce(ds, DefaultReduceOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := MarshalArtifact(&Artifact{App: "app", Dataset: ds, Reduction: red, Graph: &DependencyGraph{}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			}
+			if a, b := marshal(viaMatcher), marshal(viaLegacy); !bytes.Equal(a, b) {
+				t.Fatal("marshaled artifacts differ between matcher and legacy dataset paths")
+			}
+		})
+	}
+}
+
+// TestDatasetFromDBUsesSingleMatcherQuery verifies the fast path is
+// actually taken: a RangeQuerier store records the calls it serves, and
+// dataset assembly must issue exactly one matcher query and zero
+// per-series Query round trips.
+func TestDatasetFromDBUsesSingleMatcherQuery(t *testing.T) {
+	store := &countingStore{Store: tsdb.NewSharded(2)}
+	if err := store.WriteSamples([]tsdb.Sample{
+		{Component: "a", Metric: "m", T: 0, V: 1},
+		{Component: "a", Metric: "m", T: 500, V: 2},
+		{Component: "b", Metric: "n", T: 0, V: 3},
+		{Component: "b", Metric: "n", T: 500, V: 4},
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DatasetFromDB(store, "app", 500, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if store.matchCalls != 1 || store.queryCalls != 0 || store.keysCalls != 0 {
+		t.Fatalf("want 1 matcher call and no per-series round trips, got match=%d query=%d keys=%d",
+			store.matchCalls, store.queryCalls, store.keysCalls)
+	}
+}
+
+type countingStore struct {
+	tsdb.Store
+	matchCalls, queryCalls, keysCalls int
+}
+
+func (c *countingStore) QueryMatch(componentGlob, metricGlob string, from, to int64) ([]tsdb.SeriesResult, error) {
+	c.matchCalls++
+	return c.Store.QueryMatch(componentGlob, metricGlob, from, to)
+}
+
+func (c *countingStore) Query(component, metric string, from, to int64) ([]tsdb.Point, error) {
+	c.queryCalls++
+	return c.Store.Query(component, metric, from, to)
+}
+
+func (c *countingStore) SeriesKeys() []string {
+	c.keysCalls++
+	return c.Store.SeriesKeys()
+}

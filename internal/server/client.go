@@ -159,6 +159,38 @@ func (c *Client) Query(component, metric string, from, to int64) ([]tsdb.Point, 
 	return resp.Points, nil
 }
 
+// QueryRange evaluates a matcher/aggregation query server-side via
+// GET /query_range: every series matching the query's component/metric
+// globs with T in [From, To), raw or aggregated per StepMS bucket
+// (q.Parallelism is a server-side concern and is not transmitted). An
+// empty match returns an empty slice, not an error. The query is
+// validated before it is sent, so an inconsistent one (e.g. StepMS
+// without Agg, which the wire format could not even express) fails here
+// exactly as it would against a local store.
+func (c *Client) QueryRange(q tsdb.RangeQuery) ([]tsdb.SeriesResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	v := url.Values{}
+	if q.Component != "" {
+		v.Set("component", q.Component)
+	}
+	if q.Metric != "" {
+		v.Set("metric", q.Metric)
+	}
+	v.Set("from", strconv.FormatInt(q.From, 10))
+	v.Set("to", strconv.FormatInt(q.To, 10))
+	if q.Agg != tsdb.AggNone {
+		v.Set("agg", q.Agg.String())
+		v.Set("step", strconv.FormatInt(q.StepMS, 10))
+	}
+	var resp QueryRangeResponse
+	if err := c.do(http.MethodGet, "/query_range?"+v.Encode(), "", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
 // ArtifactResult is a fetched artifact: the decoded pipeline output plus
 // the envelope metadata.
 type ArtifactResult struct {

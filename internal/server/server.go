@@ -38,6 +38,11 @@ type Options struct {
 	MinWindowSamples int
 	// Parallelism sizes the analysis worker pools (0 = GOMAXPROCS).
 	Parallelism int
+	// QueryParallelism sizes the per-series fan-out of /query_range
+	// matcher queries against the sharded store (0 = GOMAXPROCS).
+	// Results are identical at any value; this only bounds how many
+	// series are read concurrently per request.
+	QueryParallelism int
 	// Reduce overrides the step-2 options; nil means the paper's
 	// defaults (core.DefaultReduceOptions, including name seeding). A
 	// non-nil value is used exactly as given.
@@ -171,6 +176,7 @@ func New(opts Options) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /write", s.handleWrite)
 	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /query_range", s.handleQueryRange)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /artifact", s.handleArtifact)
 	mux.HandleFunc("POST /callgraph", s.handleCallGraph)
@@ -292,6 +298,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, QueryResponse{Component: component, Metric: metric, Points: pts})
+}
+
+// QueryRangeResponse is the GET /query_range body: the resolved query
+// echo plus one entry per matched series with points in range, sorted by
+// series key. Aggregated queries return one point per non-empty bucket,
+// T = bucket start.
+type QueryRangeResponse struct {
+	From    int64               `json:"from"`
+	To      int64               `json:"to"`
+	Agg     string              `json:"agg"`
+	StepMS  int64               `json:"step_ms,omitempty"`
+	Results []tsdb.SeriesResult `json:"results"`
+}
+
+// handleQueryRange serves the query engine over HTTP: component/metric
+// glob matchers, optional aggregation push-down (agg + step), evaluated
+// with chunk-skipping reads and per-series fan-out. Unlike /query, an
+// empty match is a 200 with no results — a matcher that matches nothing
+// is an answer, not an error.
+func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query()
+	q, err := tsdb.ParseRangeQuery(
+		p.Get("component"), p.Get("metric"),
+		p.Get("from"), p.Get("to"),
+		p.Get("agg"), p.Get("step"),
+		s.store.MaxTime()+1,
+	)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q.Parallelism = s.opts.QueryParallelism
+	results, err := s.store.QueryRange(r.Context(), q)
+	if err != nil {
+		if r.Context().Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	if results == nil {
+		results = []tsdb.SeriesResult{}
+	}
+	writeJSON(w, QueryRangeResponse{
+		From: q.From, To: q.To, Agg: q.Agg.String(), StepMS: q.StepMS,
+		Results: results,
+	})
 }
 
 // StatsResponse is the GET /stats body.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -53,7 +54,11 @@ type blockMeta struct {
 	WALCuts map[string]uint64 `json:"wal_cuts,omitempty"`
 }
 
-// chunkRef locates one Gorilla chunk of one series inside chunks.dat.
+// chunkRef locates one Gorilla chunk of one series inside chunks.dat and
+// summarizes its contents: the time range lets reads skip disjoint chunks
+// without touching the file, and the value summary (version >= 2 blocks)
+// lets order-independent aggregations consume a whole in-bucket chunk
+// from the index alone — no read, no CRC, no decode.
 type chunkRef struct {
 	// Offset is the file offset of the chunk's 8-byte frame header.
 	Offset int64 `json:"offset"`
@@ -62,12 +67,43 @@ type chunkRef struct {
 	Count  int   `json:"count"`
 	MinT   int64 `json:"min_t"`
 	MaxT   int64 `json:"max_t"`
+	// Value summary over the chunk's points, in storage order: MinV/MaxV
+	// are the extrema, FirstV/LastV the first and last stored values
+	// (the chunk is time-sorted, so they carry MinT and MaxT). Present
+	// since block version 2; version-1 blocks decode instead.
+	//
+	// NoSummary marks chunks whose summary must not be consumed (they
+	// decode instead): chunks containing NaN (order-dependent min/max —
+	// see chunkAgg) and chunks with any non-finite summary value, which
+	// encoding/json cannot marshal — those persist zeroed placeholders
+	// alongside the flag so the index stays writable.
+	MinV      float64 `json:"min_v"`
+	MaxV      float64 `json:"max_v"`
+	FirstV    float64 `json:"first_v"`
+	LastV     float64 `json:"last_v"`
+	NoSummary bool    `json:"no_summary,omitempty"`
+}
+
+// agg converts the persisted ref into the engine's chunk summary form.
+func (r chunkRef) agg() chunkAgg {
+	return chunkAgg{
+		Count: r.Count,
+		MinT:  r.MinT, MaxT: r.MaxT,
+		MinV: r.MinV, MaxV: r.MaxV,
+		FirstV: r.FirstV, LastV: r.LastV,
+		NoSummary: r.NoSummary,
+	}
 }
 
 // blockIndex is the persisted index.json.
 type blockIndex struct {
 	Series map[string][]chunkRef `json:"series"`
 }
+
+// blockVersion is the version written by writeBlock. Version 2 added the
+// per-chunk value summaries that aggregation push-down reads; chunks of
+// older blocks are decoded instead (hasAggs gates it).
+const blockVersion = 2
 
 // block is one opened immutable block: meta and index in memory, chunk
 // payloads read on demand.
@@ -76,6 +112,14 @@ type block struct {
 	meta  blockMeta
 	index map[string][]chunkRef
 	f     *os.File // chunks.dat, kept open for ReadAt
+	// hasAggs reports whether the index's chunk refs carry trustworthy
+	// value summaries (blocks written at version >= 2).
+	hasAggs bool
+}
+
+// isFinite reports whether f is neither NaN nor infinite.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }
 
 // blockDirName formats a block directory name; the time range is in the
@@ -103,7 +147,7 @@ func writeBlock(blocksDir string, seq uint64, walCuts map[string]uint64, series 
 
 	var chunks []byte
 	index := blockIndex{Series: make(map[string][]chunkRef, len(keys))}
-	meta := blockMeta{Version: 1, Seq: seq, MinT: int64(1)<<62 - 1, MaxT: -int64(1) << 62, Series: len(keys), WALCuts: walCuts}
+	meta := blockMeta{Version: blockVersion, Seq: seq, MinT: int64(1)<<62 - 1, MaxT: -int64(1) << 62, Series: len(keys), WALCuts: walCuts}
 	for _, key := range keys {
 		pts := series[key]
 		for start := 0; start < len(pts); start += maxChunkPoints {
@@ -116,12 +160,25 @@ func writeBlock(blocksDir string, seq uint64, walCuts map[string]uint64, series 
 			if err != nil {
 				return nil, fmt.Errorf("tsdb: writeBlock %q: %w", key, err)
 			}
+			sum := summarizeChunk(part)
 			ref := chunkRef{
 				Offset: int64(len(chunks)),
 				Length: len(payload),
 				Count:  len(part),
 				MinT:   part[0].T,
 				MaxT:   part[len(part)-1].T,
+				MinV:   sum.MinV,
+				MaxV:   sum.MaxV,
+				FirstV: sum.FirstV,
+				LastV:  sum.LastV,
+			}
+			if sum.NoSummary ||
+				!isFinite(ref.MinV) || !isFinite(ref.MaxV) ||
+				!isFinite(ref.FirstV) || !isFinite(ref.LastV) {
+				// JSON cannot carry NaN/Inf; zero the placeholders and
+				// flag the ref so they are never consumed.
+				ref.NoSummary = true
+				ref.MinV, ref.MaxV, ref.FirstV, ref.LastV = 0, 0, 0, 0
 			}
 			var hdr [chunkHeader]byte
 			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -230,40 +287,58 @@ func openBlock(dir string) (*block, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &block{dir: dir, meta: meta, index: idx.Series, f: f}, nil
+	return &block{dir: dir, meta: meta, index: idx.Series, f: f, hasAggs: meta.Version >= 2}, nil
+}
+
+// readChunk reads and CRC-checks one chunk's payload.
+func (b *block) readChunk(key string, ref chunkRef) ([]byte, error) {
+	buf := make([]byte, chunkHeader+ref.Length)
+	if _, err := b.f.ReadAt(buf, ref.Offset); err != nil {
+		return nil, fmt.Errorf("tsdb: block %s: reading chunk of %q: %w", b.dir, key, err)
+	}
+	payload := buf[chunkHeader:]
+	if got := binary.LittleEndian.Uint32(buf[0:4]); int(got) != ref.Length {
+		return nil, fmt.Errorf("tsdb: block %s: chunk length mismatch for %q", b.dir, key)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, fmt.Errorf("tsdb: block %s: chunk CRC mismatch for %q", b.dir, key)
+	}
+	return payload, nil
+}
+
+// scan streams the block's points for key with T in [from, to) to sink
+// in chunk order. Chunks disjoint from the range are skipped from the
+// index alone; chunks that lie entirely inside the range are offered to
+// the sink as a summary first (version >= 2 blocks), so an aggregating
+// sink consumes them without a file read; the rest are read, CRC-checked,
+// and streamed through the chunk iterator.
+func (b *block) scan(key string, from, to int64, sink pointSink) error {
+	for _, ref := range b.index[key] {
+		if ref.MaxT < from || ref.MinT >= to {
+			continue
+		}
+		if b.hasAggs && ref.MinT >= from && ref.MaxT < to && sink.chunk(ref.agg()) {
+			continue
+		}
+		payload, err := b.readChunk(key, ref)
+		if err != nil {
+			return err
+		}
+		if err := scanChunk(payload, from, to, sink); err != nil {
+			return fmt.Errorf("tsdb: block %s: corrupt chunk for %q: %w", b.dir, key, err)
+		}
+	}
+	return nil
 }
 
 // query returns the block's points for key with T in [from, to), reading
 // and CRC-checking only the chunks whose time range overlaps.
 func (b *block) query(key string, from, to int64) ([]Point, error) {
-	refs := b.index[key]
-	var out []Point
-	for _, ref := range refs {
-		if ref.MaxT < from || ref.MinT >= to {
-			continue
-		}
-		buf := make([]byte, chunkHeader+ref.Length)
-		if _, err := b.f.ReadAt(buf, ref.Offset); err != nil {
-			return nil, fmt.Errorf("tsdb: block %s: reading chunk of %q: %w", b.dir, key, err)
-		}
-		payload := buf[chunkHeader:]
-		if got := binary.LittleEndian.Uint32(buf[0:4]); int(got) != ref.Length {
-			return nil, fmt.Errorf("tsdb: block %s: chunk length mismatch for %q", b.dir, key)
-		}
-		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
-			return nil, fmt.Errorf("tsdb: block %s: chunk CRC mismatch for %q", b.dir, key)
-		}
-		pts, err := DecompressBlock(payload)
-		if err != nil {
-			return nil, fmt.Errorf("tsdb: block %s: corrupt chunk for %q: %w", b.dir, key, err)
-		}
-		for _, p := range pts {
-			if p.T >= from && p.T < to {
-				out = append(out, p)
-			}
-		}
+	var out rawSink
+	if err := b.scan(key, from, to, &out); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return out.pts, nil
 }
 
 // hasSeries reports whether the block indexes key.

@@ -52,38 +52,60 @@ type Stats struct {
 	LastCheckpointError string
 }
 
-// series holds one component/metric stream: sealed compressed blocks plus
+// memChunk is one sealed, Gorilla-compressed run of a series, carrying
+// the same summary the on-disk chunk index keeps: reads skip chunks whose
+// [MinT, MaxT] is disjoint from the query range without decompressing
+// them, and aggregated queries consume whole in-bucket chunks from the
+// summary alone (see chunkAgg in queryengine.go).
+type memChunk struct {
+	data []byte
+	agg  chunkAgg
+}
+
+// series holds one component/metric stream: sealed compressed chunks plus
 // an uncompressed tail.
 type series struct {
-	blocks    [][]byte
+	chunks    []memChunk
 	blockPts  int
 	tail      []Point
 	compBytes int
 }
 
-// pointsInRange decompresses and filters the series' points with T in
-// [from, to), preserving storage order: blocks in seal order, then the
-// tail. Callers own synchronization (a shard lock, or exclusive access
-// to a stolen snapshot).
-func (sr *series) pointsInRange(from, to int64) ([]Point, error) {
-	var out []Point
-	for _, b := range sr.blocks {
-		pts, err := DecompressBlock(b)
-		if err != nil {
-			return nil, err
+// scanRange streams the series' points with T in [from, to) to sink in
+// storage order: sealed chunks in seal order, then the tail. Chunks whose
+// time range is disjoint from [from, to) are skipped without decoding;
+// chunks that lie entirely inside the range are first offered to the sink
+// as a summary (an aggregating sink may consume them without decoding —
+// see pointSink). Callers own synchronization (a shard lock, or exclusive
+// access to a stolen snapshot).
+func (sr *series) scanRange(from, to int64, sink pointSink) error {
+	for _, c := range sr.chunks {
+		if c.agg.MaxT < from || c.agg.MinT >= to {
+			continue
 		}
-		for _, p := range pts {
-			if p.T >= from && p.T < to {
-				out = append(out, p)
-			}
+		if c.agg.MinT >= from && c.agg.MaxT < to && sink.chunk(c.agg) {
+			continue
+		}
+		if err := scanChunk(c.data, from, to, sink); err != nil {
+			return err
 		}
 	}
 	for _, p := range sr.tail {
 		if p.T >= from && p.T < to {
-			out = append(out, p)
+			sink.add(p)
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// pointsInRange collects the series' points with T in [from, to) in
+// storage order (a rawSink over scanRange).
+func (sr *series) pointsInRange(from, to int64) ([]Point, error) {
+	var out rawSink
+	if err := sr.scanRange(from, to, &out); err != nil {
+		return nil, err
+	}
+	return out.pts, nil
 }
 
 // DB is an in-memory time-series store with InfluxDB-like write/query
@@ -208,9 +230,11 @@ func (db *DB) MaxTime() int64 {
 	return db.maxT
 }
 
-// sealLocked compresses the tail into a block. Errors (unordered
-// timestamps) leave the tail uncompressed; storage accounting then counts
-// it raw, which only overstates our footprint.
+// sealLocked compresses the tail into a chunk, recording its time range
+// and value summary so reads can skip it (or aggregate it) without
+// decompressing. Errors (unordered timestamps) leave the tail
+// uncompressed; storage accounting then counts it raw, which only
+// overstates our footprint.
 func (db *DB) sealLocked(sr *series) {
 	// Points may arrive slightly out of order across scrape batches; sort
 	// the tail before sealing, as real TSDBs do per block.
@@ -219,7 +243,7 @@ func (db *DB) sealLocked(sr *series) {
 	if err != nil {
 		return
 	}
-	sr.blocks = append(sr.blocks, block)
+	sr.chunks = append(sr.chunks, memChunk{data: block, agg: summarizeChunk(sr.tail)})
 	sr.blockPts += len(sr.tail)
 	sr.compBytes += len(block)
 	sr.tail = sr.tail[:0]
@@ -269,16 +293,16 @@ func (db *DB) reinsertSeries(key string, old *series) {
 		return
 	}
 	merged := &series{
-		blocks:    old.blocks,
+		chunks:    old.chunks,
 		blockPts:  old.blockPts,
 		compBytes: old.compBytes,
 		tail:      old.tail,
 	}
 	if len(merged.tail) > 0 {
-		// Seal the snapshot's tail so the newer blocks can follow it.
+		// Seal the snapshot's tail so the newer chunks can follow it.
 		db.sealLocked(merged)
 	}
-	merged.blocks = append(merged.blocks, cur.blocks...)
+	merged.chunks = append(merged.chunks, cur.chunks...)
 	merged.blockPts += cur.blockPts
 	merged.compBytes += cur.compBytes
 	merged.tail = cur.tail
@@ -315,6 +339,24 @@ func (db *DB) Query(component, metric string, from, to int64) ([]Point, error) {
 	// 16 bytes per point on the wire (timestamp + float64).
 	db.stats.NetworkOutBytes += 16 * len(out)
 	return out, nil
+}
+
+// scanSeries streams one series' in-memory points with T in [from, to)
+// to sink in storage order (sealed chunks, then tail), skipping chunks
+// disjoint from the range. A key the shard has never seen is simply an
+// empty scan — the query engine enumerates keys up front, and the
+// persisted side may own all of this one's points.
+func (db *DB) scanSeries(key string, from, to int64, sink pointSink) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sr := db.data[key]
+	if sr == nil {
+		return nil
+	}
+	if err := sr.scanRange(from, to, sink); err != nil {
+		return fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
+	}
+	return nil
 }
 
 // SeriesKeys returns all component/metric keys in sorted order.

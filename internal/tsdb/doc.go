@@ -46,4 +46,20 @@
 // Queries merge block chunks with in-memory points via a stable sort by
 // timestamp, so a restarted store answers byte-identically to the store
 // that was killed.
+//
+// # Query engine
+//
+// The read side (queryengine.go) serves matcher queries — QueryMatch
+// and QueryRange over component/metric globs — with chunk-skipping
+// reads and aggregation push-down. Every sealed chunk, in memory and in
+// a block's index, carries its time range and a value summary: reads
+// skip chunks disjoint from the query without decoding them, and
+// order-independent aggregations (min/max/count/rate) consume whole
+// in-bucket chunks from the summary alone, with no file read or decode.
+// Chunks that must be decoded stream point by point through chunkIter
+// into the consumer, so aggregated queries never materialize raw-point
+// slices. Matched series fan out across an internal/parallel worker
+// pool and merge in series-key order; results are byte-identical to a
+// naive decode-everything reference at any shard count, parallelism,
+// and durability state (queryengine_equiv_test.go, FuzzQueryRange).
 package tsdb

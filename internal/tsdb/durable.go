@@ -544,6 +544,32 @@ func (d *durable) queryBlocks(key string, from, to int64) (pts []Point, known bo
 	return pts, known, nil
 }
 
+// scanBlocks streams the persisted points for key with T in [from, to)
+// to sink in canonical order: blocks by sequence number, then any stolen
+// snapshot a checkpoint is writing out. Blocks whose meta time range is
+// disjoint are skipped without touching their chunk index.
+func (d *durable) scanBlocks(key string, from, to int64, sink pointSink) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, b := range d.blocks {
+		if b.meta.MaxT < from || b.meta.MinT >= to {
+			continue
+		}
+		if !b.hasSeries(key) {
+			continue
+		}
+		if err := b.scan(key, from, to, sink); err != nil {
+			return err
+		}
+	}
+	if sr, ok := d.flushing[key]; ok {
+		if err := sr.scanRange(from, to, sink); err != nil {
+			return fmt.Errorf("tsdb: corrupt block in flushing %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
 // addSeriesKeys unions the persisted series keys into set.
 func (d *durable) addSeriesKeys(set map[string]struct{}) {
 	d.mu.RLock()

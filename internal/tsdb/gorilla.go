@@ -97,12 +97,32 @@ func CompressBlock(points []Point) ([]byte, error) {
 	return w.bytes(), nil
 }
 
-// DecompressBlock decodes a block produced by CompressBlock.
-func DecompressBlock(block []byte) ([]Point, error) {
-	if len(block) == 0 {
+// chunkIter streams a compressed chunk point by point, so readers that
+// only need an aggregate (or a sub-range) never materialize the decoded
+// []Point slice. The zero cost per point is the same as DecompressBlock's
+// inner loop; the iterator is just that loop with its state lifted out.
+type chunkIter struct {
+	r     *bitReader
+	count uint64
+	i     uint64
+
+	prevT                     int64
+	prevDelta                 int64
+	prevV                     uint64
+	prevLeading, prevTrailing int
+
+	// cur is the current point, valid after next returns true.
+	cur Point
+}
+
+// newChunkIter validates the chunk header and positions the iterator
+// before the first point. An empty chunk yields a nil iterator (no
+// points, no error), matching DecompressBlock on an empty block.
+func newChunkIter(chunk []byte) (*chunkIter, error) {
+	if len(chunk) == 0 {
 		return nil, nil
 	}
-	r := newBitReader(block)
+	r := newBitReader(chunk)
 	count, err := r.readBits(32)
 	if err != nil {
 		return nil, err
@@ -115,7 +135,7 @@ func DecompressBlock(block []byte) ([]Point, error) {
 	// control bit), so the claimed count cannot exceed what the buffer
 	// can physically hold. Without this check a flipped header bit could
 	// demand a multi-gigabyte allocation.
-	maxPoints := uint64(len(block))*8/2 + 1
+	maxPoints := uint64(len(chunk))*8/2 + 1
 	if count > maxPoints {
 		return nil, fmt.Errorf("tsdb: block claims %d points but holds at most %d", count, maxPoints)
 	}
@@ -127,35 +147,65 @@ func DecompressBlock(block []byte) ([]Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &chunkIter{
+		r:            r,
+		count:        count,
+		prevT:        int64(t0),
+		prevV:        v0,
+		prevLeading:  -1,
+		prevTrailing: -1,
+	}, nil
+}
 
-	out := make([]Point, 0, count)
-	out = append(out, Point{T: int64(t0), V: math.Float64frombits(v0)})
-
-	prevT := int64(t0)
-	var prevDelta int64
-	prevV := v0
-	prevLeading, prevTrailing := -1, -1
-
-	for i := uint64(1); i < count; i++ {
-		dod, err := readDoD(r)
-		if err != nil {
-			return nil, err
-		}
-		delta := prevDelta + dod
-		t := prevT + delta
-		prevT, prevDelta = t, delta
-
-		v, leading, trailing, err := readXORValue(r, prevV, prevLeading, prevTrailing)
-		if err != nil {
-			return nil, err
-		}
-		prevV = v
-		if leading >= 0 {
-			prevLeading, prevTrailing = leading, trailing
-		}
-		out = append(out, Point{T: t, V: math.Float64frombits(v)})
+// next advances to the following point, reporting false at the end of
+// the chunk. After a true return, it.cur holds the point.
+func (it *chunkIter) next() (bool, error) {
+	if it.i >= it.count {
+		return false, nil
 	}
-	return out, nil
+	if it.i == 0 {
+		it.i++
+		it.cur = Point{T: it.prevT, V: math.Float64frombits(it.prevV)}
+		return true, nil
+	}
+	dod, err := readDoD(it.r)
+	if err != nil {
+		return false, err
+	}
+	delta := it.prevDelta + dod
+	t := it.prevT + delta
+	it.prevT, it.prevDelta = t, delta
+
+	v, leading, trailing, err := readXORValue(it.r, it.prevV, it.prevLeading, it.prevTrailing)
+	if err != nil {
+		return false, err
+	}
+	it.prevV = v
+	if leading >= 0 {
+		it.prevLeading, it.prevTrailing = leading, trailing
+	}
+	it.i++
+	it.cur = Point{T: t, V: math.Float64frombits(v)}
+	return true, nil
+}
+
+// DecompressBlock decodes a block produced by CompressBlock.
+func DecompressBlock(block []byte) ([]Point, error) {
+	it, err := newChunkIter(block)
+	if err != nil || it == nil {
+		return nil, err
+	}
+	out := make([]Point, 0, it.count)
+	for {
+		ok, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, it.cur)
+	}
 }
 
 // readDoD decodes one delta-of-delta bucket.

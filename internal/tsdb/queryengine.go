@@ -1,0 +1,639 @@
+package tsdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/sieve-microservices/sieve/internal/parallel"
+)
+
+// This file is the read-side query engine (the counterpart of the
+// durable write-side engine in wal.go/block.go/durable.go): matcher
+// queries over many series at once, aggregation push-down computed
+// during decode iteration, and the chunk-skipping scan shared by every
+// read path.
+//
+// The layers, bottom up:
+//
+//   - pointSink / scanChunk: a streaming decode loop over one Gorilla
+//     chunk. Chunks are time-ordered, so the scan stops at the first
+//     point past the range instead of decoding the remainder.
+//   - chunkAgg: the per-chunk summary kept by both the in-memory sealed
+//     chunks (memChunk) and the on-disk chunk index (chunkRef). Reads
+//     skip disjoint chunks on [MinT, MaxT] alone, and order-independent
+//     aggregations (min/max/count/rate) consume whole in-bucket chunks
+//     from the summary without reading or decoding them.
+//   - aggregator: bucket accumulation for min/max/avg/sum/count/rate on
+//     a step grid anchored at the query's From. Raw points never
+//     materialize for aggregated queries — every source streams into
+//     the accumulator.
+//   - DB.QueryRange / Sharded.QueryRange: matcher evaluation. The
+//     sharded form fans the matched series out across a worker pool
+//     (internal/parallel) and merges results in series-key order, so
+//     output is identical at any shard count and parallelism.
+
+// Agg selects the aggregation a range query applies per step bucket.
+// AggNone returns raw points.
+type Agg uint8
+
+const (
+	// AggNone returns raw points (no bucketing).
+	AggNone Agg = iota
+	// AggMin is the per-bucket minimum value.
+	AggMin
+	// AggMax is the per-bucket maximum value.
+	AggMax
+	// AggAvg is the per-bucket arithmetic mean.
+	AggAvg
+	// AggSum is the per-bucket sum.
+	AggSum
+	// AggCount is the per-bucket point count.
+	AggCount
+	// AggRate is the per-bucket per-second rate of change: (last value -
+	// first value) / (last T - first T), scaled to seconds. Buckets whose
+	// points share one timestamp are omitted (no defined rate).
+	AggRate
+)
+
+// ParseAgg parses an aggregation name as used by the /query_range `agg`
+// parameter. "" and "raw" mean AggNone.
+func ParseAgg(s string) (Agg, error) {
+	switch s {
+	case "", "raw", "none":
+		return AggNone, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "avg":
+		return AggAvg, nil
+	case "sum":
+		return AggSum, nil
+	case "count":
+		return AggCount, nil
+	case "rate":
+		return AggRate, nil
+	}
+	return AggNone, fmt.Errorf("tsdb: unknown aggregation %q (want min, max, avg, sum, count, rate, or raw)", s)
+}
+
+// String returns the wire name of the aggregation ("raw" for AggNone).
+func (a Agg) String() string {
+	switch a {
+	case AggNone:
+		return "raw"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggRate:
+		return "rate"
+	}
+	return fmt.Sprintf("agg(%d)", uint8(a))
+}
+
+// RangeQuery is one query-engine request: every series whose component
+// and metric match the globs, restricted to T in [From, To), either raw
+// (Agg == AggNone) or aggregated per StepMS bucket. Globs support '*'
+// (any run) and '?' (any byte); "*"/"*" matches every series.
+type RangeQuery struct {
+	// Component and Metric are glob patterns over the two halves of the
+	// series key.
+	Component string
+	Metric    string
+	// From and To bound the time range: [From, To) in milliseconds.
+	From, To int64
+	// Agg selects the aggregation; AggNone returns raw points.
+	Agg Agg
+	// StepMS is the aggregation bucket width in milliseconds, anchored at
+	// From (bucket i covers [From+i*StepMS, From+(i+1)*StepMS)). Required
+	// (> 0) when Agg is set, and must be 0 when Agg is AggNone.
+	StepMS int64
+	// Parallelism sizes the per-series fan-out of a sharded store
+	// (0 = GOMAXPROCS). Results are identical at any value.
+	Parallelism int
+}
+
+// Validate checks the query's internal consistency.
+func (q RangeQuery) Validate() error {
+	if q.From > q.To {
+		return fmt.Errorf("tsdb: query range [%d, %d) is inverted", q.From, q.To)
+	}
+	if q.Agg > AggRate {
+		return fmt.Errorf("tsdb: invalid aggregation %d", uint8(q.Agg))
+	}
+	if q.Agg == AggNone && q.StepMS != 0 {
+		return errors.New("tsdb: step requires an aggregation function")
+	}
+	if q.Agg != AggNone && q.StepMS <= 0 {
+		return fmt.Errorf("tsdb: aggregation %s requires step > 0, got %d", q.Agg, q.StepMS)
+	}
+	return nil
+}
+
+// ParseRangeQuery builds a RangeQuery from the /query_range parameter
+// strings. Empty component/metric default to "*" (match everything),
+// empty from to 0, empty to to defaultTo (callers pass the store's
+// MaxTime()+1 so the default range covers everything ingested). The
+// returned query is validated.
+func ParseRangeQuery(component, metric, from, to, agg, step string, defaultTo int64) (RangeQuery, error) {
+	q := RangeQuery{Component: component, Metric: metric, From: 0, To: defaultTo}
+	if q.Component == "" {
+		q.Component = "*"
+	}
+	if q.Metric == "" {
+		q.Metric = "*"
+	}
+	var err error
+	if from != "" {
+		if q.From, err = strconv.ParseInt(from, 10, 64); err != nil {
+			return q, fmt.Errorf("tsdb: bad from: %w", err)
+		}
+	}
+	if to != "" {
+		if q.To, err = strconv.ParseInt(to, 10, 64); err != nil {
+			return q, fmt.Errorf("tsdb: bad to: %w", err)
+		}
+	}
+	if q.Agg, err = ParseAgg(agg); err != nil {
+		return q, err
+	}
+	if step != "" {
+		if q.StepMS, err = strconv.ParseInt(step, 10, 64); err != nil {
+			return q, fmt.Errorf("tsdb: bad step: %w", err)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// SeriesResult is one matched series' answer: raw points, or one point
+// per non-empty bucket (T = bucket start) for aggregated queries.
+type SeriesResult struct {
+	Component string  `json:"component"`
+	Metric    string  `json:"metric"`
+	Points    []Point `json:"points"`
+}
+
+// matchGlob reports whether s matches the glob pattern: '*' matches any
+// (possibly empty) run of bytes, '?' any single byte, everything else
+// itself. Iterative with single-star backtracking, so adversarial
+// patterns stay linear-ish instead of exponential.
+func matchGlob(pattern, s string) bool {
+	pi, si := 0, 0
+	starPi, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '*':
+			starPi, starSi = pi, si
+			pi++
+		case starPi >= 0:
+			pi = starPi + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// splitKey splits a series key at its first slash into component and
+// metric (the convention of Sample.Key and DatasetFromDB).
+func splitKey(key string) (component, metric string) {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
+}
+
+// matchKey applies the query's globs to a series key.
+func (q RangeQuery) matchKey(key string) bool {
+	component, metric := splitKey(key)
+	return matchGlob(q.Component, component) && matchGlob(q.Metric, metric)
+}
+
+// chunkAgg summarizes one sealed chunk, in memory (memChunk) or on disk
+// (chunkRef): the time range for skip decisions plus the value facts
+// that order-independent aggregations need. FirstV and LastV are the
+// first and last stored values; chunks are time-sorted, so they carry
+// MinT and MaxT respectively. NoSummary disqualifies the chunk from
+// summary push-down (it always decodes): set for chunks containing NaN
+// — min/max over a sequence with NaN is order-dependent under
+// comparison semantics (NaN never wins a comparison but poisons a
+// seed), so no single summary value reproduces what decoding yields —
+// and, on the persisted side, for any non-finite summary value, which
+// JSON cannot carry (see chunkRef). Only WriteSamples can ingest
+// non-finite values; the line protocol rejects them.
+type chunkAgg struct {
+	Count         int
+	MinT, MaxT    int64
+	MinV, MaxV    float64
+	FirstV, LastV float64
+	NoSummary     bool
+}
+
+// summarizeChunk computes the summary of a time-sorted, non-empty batch.
+func summarizeChunk(pts []Point) chunkAgg {
+	a := chunkAgg{
+		Count: len(pts),
+		MinT:  pts[0].T, MaxT: pts[len(pts)-1].T,
+		MinV: pts[0].V, MaxV: pts[0].V,
+		FirstV: pts[0].V, LastV: pts[len(pts)-1].V,
+	}
+	for _, p := range pts {
+		if p.V != p.V { // NaN
+			a.NoSummary = true
+		}
+		if p.V < a.MinV {
+			a.MinV = p.V
+		}
+		if p.V > a.MaxV {
+			a.MaxV = p.V
+		}
+	}
+	return a
+}
+
+// pointSink consumes a streamed scan. chunk offers a whole chunk that
+// lies entirely inside the query range as its summary; a sink returns
+// true to consume it without decoding (aggregation push-down) or false
+// to receive the chunk's points through add instead.
+type pointSink interface {
+	add(Point)
+	chunk(chunkAgg) bool
+}
+
+// rawSink collects raw points; chunk summaries are always declined
+// (raw reads need the actual points).
+type rawSink struct{ pts []Point }
+
+func (r *rawSink) add(p Point)         { r.pts = append(r.pts, p) }
+func (r *rawSink) chunk(chunkAgg) bool { return false }
+
+// scanChunk streams a compressed chunk's points with T in [from, to) to
+// sink. The chunk is time-ordered, so the scan returns at the first
+// point past `to` without decoding the rest.
+func scanChunk(chunk []byte, from, to int64, sink pointSink) error {
+	it, err := newChunkIter(chunk)
+	if err != nil || it == nil {
+		return err
+	}
+	for {
+		ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok || it.cur.T >= to {
+			return nil
+		}
+		if it.cur.T >= from {
+			sink.add(it.cur)
+		}
+	}
+}
+
+// bucket accumulates one step bucket, seeded by its first contribution
+// (no sentinel extrema: comparison-based updates then treat NaN the same
+// way the naive reference does). first/last follow feed order among
+// equal timestamps: the first point fed with the minimal T stays first,
+// the last point fed with the maximal T becomes last — exactly the order
+// a stable sort by T would produce from the storage-order feed.
+type bucket struct {
+	count         int64
+	min, max, sum float64
+	firstT, lastT int64
+	firstV, lastV float64
+}
+
+// aggregator buckets a storage-order point stream on the step grid
+// anchored at from. It implements pointSink: whole in-bucket chunks are
+// consumed from their summaries when the aggregation allows it (sum and
+// avg always decode — a per-chunk subtotal would change float rounding,
+// and results must be bit-identical to a naive point-by-point
+// reference).
+type aggregator struct {
+	agg      Agg
+	from     int64
+	step     uint64
+	pushdown bool
+	buckets  map[uint64]*bucket
+}
+
+func newAggregator(agg Agg, from, stepMS int64) *aggregator {
+	return &aggregator{
+		agg:  agg,
+		from: from,
+		step: uint64(stepMS),
+		// Order-independent facts come straight from chunk summaries;
+		// sum/avg accumulate point by point to keep rounding identical to
+		// the naive reference.
+		pushdown: agg == AggMin || agg == AggMax || agg == AggCount || agg == AggRate,
+		buckets:  map[uint64]*bucket{},
+	}
+}
+
+// bucketIdx maps a timestamp in [from, to) onto its bucket index. The
+// subtraction runs unsigned: t >= from, so the wrapped difference is the
+// exact mathematical distance even when int64 subtraction would
+// overflow (from can be MinInt64 on an unbounded query).
+func (a *aggregator) bucketIdx(t int64) uint64 {
+	return (uint64(t) - uint64(a.from)) / a.step
+}
+
+// bucketStart inverts bucketIdx, again through unsigned arithmetic.
+func (a *aggregator) bucketStart(idx uint64) int64 {
+	return int64(uint64(a.from) + idx*a.step)
+}
+
+func (a *aggregator) add(p Point) {
+	idx := a.bucketIdx(p.T)
+	b := a.buckets[idx]
+	if b == nil {
+		a.buckets[idx] = &bucket{
+			count: 1, min: p.V, max: p.V, sum: p.V,
+			firstT: p.T, firstV: p.V, lastT: p.T, lastV: p.V,
+		}
+		return
+	}
+	b.count++
+	if p.V < b.min {
+		b.min = p.V
+	}
+	if p.V > b.max {
+		b.max = p.V
+	}
+	b.sum += p.V
+	if p.T < b.firstT {
+		b.firstT, b.firstV = p.T, p.V
+	}
+	if p.T >= b.lastT {
+		b.lastT, b.lastV = p.T, p.V
+	}
+}
+
+func (a *aggregator) chunk(c chunkAgg) bool {
+	if !a.pushdown || c.NoSummary {
+		return false
+	}
+	idx := a.bucketIdx(c.MinT)
+	if idx != a.bucketIdx(c.MaxT) {
+		// The chunk straddles a bucket boundary; decode it.
+		return false
+	}
+	b := a.buckets[idx]
+	if b == nil {
+		a.buckets[idx] = &bucket{
+			count: int64(c.Count), min: c.MinV, max: c.MaxV,
+			firstT: c.MinT, firstV: c.FirstV, lastT: c.MaxT, lastV: c.LastV,
+		}
+		return true
+	}
+	b.count += int64(c.Count)
+	if c.MinV < b.min {
+		b.min = c.MinV
+	}
+	if c.MaxV > b.max {
+		b.max = c.MaxV
+	}
+	// first/last merge mirrors add's feed-order rule: strictly earlier
+	// MinT displaces first, greater-or-equal MaxT displaces last.
+	if c.MinT < b.firstT {
+		b.firstT, b.firstV = c.MinT, c.FirstV
+	}
+	if c.MaxT >= b.lastT {
+		b.lastT, b.lastV = c.MaxT, c.LastV
+	}
+	return true
+}
+
+// points materializes the non-empty buckets in time order: one point per
+// bucket, T = bucket start. Rate buckets whose points share a single
+// timestamp are omitted.
+func (a *aggregator) points() []Point {
+	if len(a.buckets) == 0 {
+		return nil
+	}
+	idxs := make([]uint64, 0, len(a.buckets))
+	for idx := range a.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := make([]Point, 0, len(idxs))
+	for _, idx := range idxs {
+		b := a.buckets[idx]
+		var v float64
+		switch a.agg {
+		case AggMin:
+			v = b.min
+		case AggMax:
+			v = b.max
+		case AggAvg:
+			v = b.sum / float64(b.count)
+		case AggSum:
+			v = b.sum
+		case AggCount:
+			v = float64(b.count)
+		case AggRate:
+			if b.lastT == b.firstT {
+				continue
+			}
+			// Unsigned difference: exact even across a huge bucket.
+			dtMS := uint64(b.lastT) - uint64(b.firstT)
+			v = (b.lastV - b.firstV) * 1000 / float64(dtMS)
+		}
+		out = append(out, Point{T: a.bucketStart(idx), V: v})
+	}
+	return out
+}
+
+// matchedKeys filters and sorts the series keys the query matches.
+func matchedKeys(set map[string]struct{}, q RangeQuery) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		if q.matchKey(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// compactResults drops empty series from a pre-sized result slice,
+// preserving order.
+func compactResults(results []SeriesResult) []SeriesResult {
+	out := results[:0]
+	for _, r := range results {
+		if len(r.Points) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// QueryRange evaluates a matcher/aggregation query against the DB: every
+// series matching the globs, raw or bucket-aggregated, in series-key
+// order. Series with no points in the range are omitted. The whole
+// evaluation runs under one lock hold, so the result is a consistent
+// snapshot. Result sizes are charged to network-out as /query responses
+// are.
+func (db *DB) QueryRange(ctx context.Context, q RangeQuery) ([]SeriesResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	set := make(map[string]struct{}, len(db.data))
+	for k := range db.data {
+		set[k] = struct{}{}
+	}
+	keys := matchedKeys(set, q)
+	results := make([]SeriesResult, len(keys))
+	for i, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		component, metric := splitKey(key)
+		pts, err := scanOneSeries(db.data[key], q)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
+		}
+		db.stats.NetworkOutBytes += 16 * len(pts)
+		results[i] = SeriesResult{Component: component, Metric: metric, Points: pts}
+	}
+	return compactResults(results), nil
+}
+
+// scanOneSeries evaluates one series under the caller's lock: raw points
+// stably sorted by time, or aggregated buckets.
+func scanOneSeries(sr *series, q RangeQuery) ([]Point, error) {
+	if q.Agg == AggNone {
+		pts, err := sr.pointsInRange(q.From, q.To)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+		return pts, nil
+	}
+	acc := newAggregator(q.Agg, q.From, q.StepMS)
+	if err := sr.scanRange(q.From, q.To, acc); err != nil {
+		return nil, err
+	}
+	return acc.points(), nil
+}
+
+// QueryMatch is the raw-points matcher query: every series matching the
+// globs with T in [from, to), in series-key order.
+func (db *DB) QueryMatch(componentGlob, metricGlob string, from, to int64) ([]SeriesResult, error) {
+	return db.QueryRange(context.Background(), RangeQuery{
+		Component: componentGlob, Metric: metricGlob, From: from, To: to,
+	})
+}
+
+// QueryRange evaluates a matcher/aggregation query against the sharded
+// store: the matched series (in-memory, persisted blocks, and any
+// mid-checkpoint overlay) are fanned out across a worker pool and merged
+// in series-key order, so the result is identical at any shard count and
+// parallelism. Series with no points in the range are omitted;
+// aggregated queries never materialize raw points.
+//
+// On a durable store the checkpoint-cut read lock is held per series,
+// not across the whole fan-out: each series is read from one consistent
+// side of any concurrent cut (never duplicated, never partially
+// drained), while a wide query over cold blocks cannot stall a pending
+// checkpoint — and, through the RWMutex writer queue, every other
+// reader — for its full duration. Against the cut itself, per-series
+// holds cost no observable consistency: a cut only moves points between
+// memory and blocks, and reads are byte-identical on either side
+// (pinned by the equivalence suite), so a result mixing pre- and
+// post-cut series equals the all-pre and all-post results. Retention is
+// the exception: a checkpoint racing the fan-out may drop expired
+// blocks midway, so with RetentionMS set a single response can reflect
+// different history depths across series (concurrent ingest advancing
+// the horizon has the same effect); per-query atomicity against data
+// expiry is not part of the contract.
+func (s *Sharded) QueryRange(ctx context.Context, q RangeQuery) ([]SeriesResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	keys := matchedKeys(s.seriesKeySet(), q)
+	results := make([]SeriesResult, len(keys))
+	err := parallel.ForEach(ctx, q.Parallelism, len(keys), func(ctx context.Context, i int) error {
+		key := keys[i]
+		component, metric := splitKey(key)
+		pts, err := s.querySeries(key, component, metric, q)
+		if err != nil {
+			// A series enumerated a moment ago can disappear when block
+			// retention races the scan; absence is an empty result, not a
+			// failure.
+			if errors.Is(err, ErrUnknownSeries) {
+				return nil
+			}
+			return err
+		}
+		results[i] = SeriesResult{Component: component, Metric: metric, Points: pts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return compactResults(results), nil
+}
+
+// querySeries reads one series under its own checkpoint-cut hold.
+func (s *Sharded) querySeries(key, component, metric string, q RangeQuery) ([]Point, error) {
+	if s.dur != nil {
+		s.dur.cutMu.RLock()
+		defer s.dur.cutMu.RUnlock()
+	}
+	if q.Agg == AggNone {
+		return s.queryKeyLocked(key, component, metric, q.From, q.To)
+	}
+	return s.aggregateKeyLocked(key, q)
+}
+
+// aggregateKeyLocked streams one series through an aggregator in
+// canonical storage order — persisted blocks (in sequence order), the
+// checkpoint overlay, then shard memory — which is the same order the
+// raw path stably sorts. Caller holds cutMu (durable stores).
+func (s *Sharded) aggregateKeyLocked(key string, q RangeQuery) ([]Point, error) {
+	acc := newAggregator(q.Agg, q.From, q.StepMS)
+	if s.dur != nil {
+		if err := s.dur.scanBlocks(key, q.From, q.To, acc); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.shards[s.shardIndex(key)].scanSeries(key, q.From, q.To, acc); err != nil {
+		return nil, err
+	}
+	pts := acc.points()
+	s.netOut.Add(16 * int64(len(pts)))
+	return pts, nil
+}
+
+// QueryMatch is the raw-points matcher query: every series matching the
+// globs with T in [from, to), in series-key order, fanned out across
+// shards and series.
+func (s *Sharded) QueryMatch(componentGlob, metricGlob string, from, to int64) ([]SeriesResult, error) {
+	return s.QueryRange(context.Background(), RangeQuery{
+		Component: componentGlob, Metric: metricGlob, From: from, To: to,
+	})
+}

@@ -172,7 +172,13 @@ func (s *Sharded) Query(component, metric string, from, to int64) ([]Point, erro
 		s.dur.cutMu.RLock()
 		defer s.dur.cutMu.RUnlock()
 	}
-	key := component + "/" + metric
+	return s.queryKeyLocked(component+"/"+metric, component, metric, from, to)
+}
+
+// queryKeyLocked is Query's body, factored out so the query engine's
+// fan-out (which already holds cutMu for all its series) can reuse the
+// exact single-series read path. Caller holds cutMu on durable stores.
+func (s *Sharded) queryKeyLocked(key, component, metric string, from, to int64) ([]Point, error) {
 	pts, err := s.shards[s.shardIndex(key)].Query(component, metric, from, to)
 	if err != nil && !errors.Is(err, ErrUnknownSeries) {
 		return nil, err
@@ -226,6 +232,12 @@ func (s *Sharded) seriesKeySet() map[string]struct{} {
 		s.dur.cutMu.RLock()
 		defer s.dur.cutMu.RUnlock()
 	}
+	return s.seriesKeySetLocked()
+}
+
+// seriesKeySetLocked is seriesKeySet for callers already holding cutMu
+// (an RWMutex read lock must not be re-acquired while a writer waits).
+func (s *Sharded) seriesKeySetLocked() map[string]struct{} {
 	set := map[string]struct{}{}
 	for _, sh := range s.shards {
 		for _, k := range sh.SeriesKeys() {

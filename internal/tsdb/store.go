@@ -1,5 +1,7 @@
 package tsdb
 
+import "context"
+
 // Writer is the ingest half of a store: anything that accepts
 // line-protocol payloads. Both local stores (DB, Sharded) and the HTTP
 // client in internal/server implement it, so a metrics.Collector can ship
@@ -19,11 +21,26 @@ type ReadStore interface {
 	SeriesKeys() []string
 }
 
+// RangeQuerier is the query-engine surface: matcher queries over many
+// series at once, raw or aggregated per step bucket, with chunk-skipping
+// reads. Dataset assembly prefers it over per-series ReadStore round
+// trips when the store provides it.
+type RangeQuerier interface {
+	// QueryRange returns every series matching the query's globs with
+	// points (raw, or one per non-empty step bucket) in [From, To),
+	// sorted by series key; series with no points in range are omitted.
+	QueryRange(ctx context.Context, q RangeQuery) ([]SeriesResult, error)
+	// QueryMatch is QueryRange for raw points: every matching series'
+	// points with T in [from, to).
+	QueryMatch(componentGlob, metricGlob string, from, to int64) ([]SeriesResult, error)
+}
+
 // Store is the full surface shared by the single-mutex DB and the
 // sharded store: ingest, query, sealing, and resource accounting.
 type Store interface {
 	Writer
 	ReadStore
+	RangeQuerier
 	// WriteSamples ingests already-decoded samples, accounting wireBytes
 	// as network-in traffic. On a durable store a write-ahead-log failure
 	// rejects the batch.

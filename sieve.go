@@ -357,6 +357,46 @@ func NewServerClient(baseURL string) *ServerClient {
 	return server.NewClient(baseURL)
 }
 
+// RangeQuery is one query-engine request against a store or a sieved
+// server: every series whose component and metric match the globs
+// ('*' any run, '?' any byte), restricted to [From, To), either raw or
+// aggregated per StepMS bucket (Agg selects min/max/avg/sum/count/rate).
+// Served by GET /query_range and ServerClient.QueryRange; locally by any
+// store's QueryRange/QueryMatch.
+type RangeQuery = tsdb.RangeQuery
+
+// SeriesResult is one matched series' answer to a RangeQuery: raw
+// points, or one point per non-empty step bucket (T = bucket start).
+type SeriesResult = tsdb.SeriesResult
+
+// MetricAgg selects the per-bucket aggregation of a RangeQuery.
+type MetricAgg = tsdb.Agg
+
+// Aggregation functions for RangeQuery.Agg.
+const (
+	// AggNone returns raw points (no bucketing).
+	AggNone = tsdb.AggNone
+	// AggMin is the per-bucket minimum value.
+	AggMin = tsdb.AggMin
+	// AggMax is the per-bucket maximum value.
+	AggMax = tsdb.AggMax
+	// AggAvg is the per-bucket arithmetic mean.
+	AggAvg = tsdb.AggAvg
+	// AggSum is the per-bucket sum.
+	AggSum = tsdb.AggSum
+	// AggCount is the per-bucket point count.
+	AggCount = tsdb.AggCount
+	// AggRate is the per-bucket per-second rate of change.
+	AggRate = tsdb.AggRate
+)
+
+// ParseMetricAgg parses an aggregation name ("min", "max", "avg", "sum",
+// "count", "rate"; "" and "raw" mean AggNone) as the /query_range agg
+// parameter does.
+func ParseMetricAgg(s string) (MetricAgg, error) {
+	return tsdb.ParseAgg(s)
+}
+
 // MetricRegistry holds the exported metrics of one component (returned
 // by App.Registry).
 type MetricRegistry = metrics.Registry
