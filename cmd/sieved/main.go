@@ -8,12 +8,29 @@
 //	sieved [-addr :8086] [-shards N] [-window 240s] [-interval 30s]
 //	       [-step 500ms] [-app NAME] [-parallelism N]
 //	       [-query-parallelism N] [-data-dir DIR] [-retention 24h]
-//	       [-fsync interval]
+//	       [-fsync interval] [-incremental] [-full-recompute-every N]
+//	       [-warm-start] [-warm-resweep-every N]
+//	       [-warm-silhouette-tolerance F] [-pprof-addr :6060]
 //
 // With -data-dir the store is durable: writes go through a per-shard
 // write-ahead log and are periodically sealed into Gorilla-compressed
 // block files, so a restarted sieved serves the same data it was killed
 // with. An empty -data-dir (the default) keeps the pure in-memory store.
+//
+// With -incremental the online pipeline carries state across cycles:
+// each run queries only the window's new tail and rolls a ring-buffered
+// bucket cache forward, and Granger tests on unchanged series are served
+// from a content-fingerprint cache — bit-identical to recomputing, as
+// long as writes do not land behind the already-analyzed frontier
+// (-full-recompute-every N self-heals from such late data every N
+// cycles). -warm-start additionally seeds clustering from the previous
+// cycle's assignments and skips the silhouette sweep while quality holds
+// (an approximation, hence a separate opt-in).
+//
+// -pprof-addr serves net/http/pprof on a side listener so the online
+// loop can be profiled in place:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
 //
 // Quickstart against a running instance:
 //
@@ -27,6 +44,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,20 +67,31 @@ func main() {
 	retention := flag.Duration("retention", 0, "drop on-disk blocks older than this much ingest time (0 = keep forever)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
 	flushInterval := flag.Duration("flush-interval", 0, "block flush cadence (0 = default 60s)")
+	incremental := flag.Bool("incremental", false, "carry pipeline state across cycles: tail-only window queries + Granger result cache")
+	fullRecomputeEvery := flag.Int("full-recompute-every", 0, "with -incremental, drop all carried state and recompute from scratch every N cycles (0 = never)")
+	warmStart := flag.Bool("warm-start", false, "seed clustering from the previous cycle and skip the silhouette sweep while quality holds")
+	warmResweepEvery := flag.Int("warm-resweep-every", 0, "with -warm-start, force a full silhouette sweep every N cycles (0 = default 10, negative = never on cadence alone)")
+	warmSilhouetteTolerance := flag.Float64("warm-silhouette-tolerance", 0, "with -warm-start, allowed silhouette drop vs the last full sweep before re-sweeping (0 = default 0.05)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	opts := sieve.ServerOptions{
-		AppName:          *appName,
-		Shards:           *shards,
-		StepMS:           step.Milliseconds(),
-		WindowMS:         window.Milliseconds(),
-		Interval:         *interval,
-		Parallelism:      *parallelism,
-		QueryParallelism: *queryParallelism,
-		DataDir:          *dataDir,
-		Retention:        *retention,
-		Fsync:            *fsync,
-		FlushInterval:    *flushInterval,
+		AppName:                 *appName,
+		Shards:                  *shards,
+		StepMS:                  step.Milliseconds(),
+		WindowMS:                window.Milliseconds(),
+		Interval:                *interval,
+		Parallelism:             *parallelism,
+		QueryParallelism:        *queryParallelism,
+		DataDir:                 *dataDir,
+		Retention:               *retention,
+		Fsync:                   *fsync,
+		FlushInterval:           *flushInterval,
+		Incremental:             *incremental,
+		FullRecomputeEvery:      *fullRecomputeEvery,
+		WarmStart:               *warmStart,
+		WarmResweepEvery:        *warmResweepEvery,
+		WarmSilhouetteTolerance: *warmSilhouetteTolerance,
 	}
 	srv, err := sieve.NewServer(opts)
 	if err != nil {
@@ -72,6 +102,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		// pprof registers on http.DefaultServeMux; the API runs on its
+		// own mux, so the profiling surface only exists on this side
+		// listener and is never exposed on -addr.
+		go func() {
+			fmt.Printf("pprof listening on %s (/debug/pprof/)\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof listener error:", err)
+			}
+		}()
+	}
+
 	durability := "in-memory"
 	if srv.Store().Durable() {
 		durability = fmt.Sprintf("durable at %s (fsync %s)", srv.Store().DataDir(), *fsync)
@@ -79,8 +121,17 @@ func main() {
 			fmt.Printf("recovered %d points from %s\n", pts, *dataDir)
 		}
 	}
-	fmt.Printf("sieved listening on %s (%d shards, window %s, interval %s, %s)\n",
-		*addr, srv.Store().NumShards(), *window, *interval, durability)
+	engine := "batch recompute"
+	if *incremental {
+		engine = "incremental"
+		if *warmStart {
+			engine = "incremental+warm-start"
+		}
+	} else if *warmStart {
+		engine = "warm-start"
+	}
+	fmt.Printf("sieved listening on %s (%d shards, window %s, interval %s, %s, %s pipeline)\n",
+		*addr, srv.Store().NumShards(), *window, *interval, durability, engine)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 
 	"github.com/sieve-microservices/sieve/internal/app"
 	"github.com/sieve-microservices/sieve/internal/callgraph"
@@ -171,6 +170,11 @@ func CaptureContext(ctx context.Context, a *app.App, pattern loadgen.Pattern, op
 // SeriesKeys call plus one Query round trip per series; results are
 // bit-identical, the matcher path just avoids N lock/merge cycles and
 // lets the store fan the series out across its shards.
+//
+// Online callers that assemble overlapping windows cycle after cycle
+// should use a WindowCache instead: it keeps per-series bucket state
+// across calls and reads only the window's new tail, producing the same
+// bytes this full read would.
 func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) (*Dataset, error) {
 	if end <= start {
 		return nil, fmt.Errorf("core: empty capture window [%d,%d)", start, end)
@@ -192,11 +196,10 @@ func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) 
 		}
 	} else {
 		for _, key := range db.SeriesKeys() {
-			slash := strings.IndexByte(key, '/')
-			if slash < 0 {
+			component, metric, ok := seriesKeyParts(key)
+			if !ok {
 				return nil, fmt.Errorf("core: malformed series key %q", key)
 			}
-			component, metric := key[:slash], key[slash+1:]
 			pts, err := db.Query(component, metric, start, end)
 			if err != nil {
 				return nil, fmt.Errorf("core: reading %q: %w", key, err)

@@ -111,10 +111,14 @@ func TestDatasetFromDBUsesSingleMatcherQuery(t *testing.T) {
 type countingStore struct {
 	tsdb.Store
 	matchCalls, queryCalls, keysCalls int
+	// matchRanges records each matcher query's [from, to) so the window
+	// cache tests can pin tail-only reads.
+	matchRanges [][2]int64
 }
 
 func (c *countingStore) QueryMatch(componentGlob, metricGlob string, from, to int64) ([]tsdb.SeriesResult, error) {
 	c.matchCalls++
+	c.matchRanges = append(c.matchRanges, [2]int64{from, to})
 	return c.Store.QueryMatch(componentGlob, metricGlob, from, to)
 }
 

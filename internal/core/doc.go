@@ -18,4 +18,11 @@
 // (Run); online mode skips step 1 and assembles the Dataset from any
 // tsdb.ReadStore over a sliding window (DatasetFromDB), which is how
 // the sieved server re-runs steps 2-3 over live ingested data.
+//
+// For overlapping windows the online path has incremental counterparts:
+// WindowCache assembles each cycle from ring-buffered bucket state with
+// one tail-only store query (bit-identical to DatasetFromDB), and
+// ReduceWarmContext carries clustering state across cycles via
+// WarmState, skipping the silhouette sweep while quality holds
+// (opt-in: warm results may differ from batch).
 package core

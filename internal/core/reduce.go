@@ -166,22 +166,39 @@ func ReduceContext(ctx context.Context, ds *Dataset, opts ReduceOptions) (Reduct
 }
 
 func reduceComponent(ctx context.Context, ds *Dataset, component string, opts ReduceOptions) (*ComponentReduction, error) {
+	cr, kept, series := filterComponent(ds, component, opts)
+	if len(kept) < 2 {
+		return cr, nil
+	}
+	var seedNames []string
+	if opts.NameSeeding {
+		seedNames = kept
+	}
+	sweep, err := kshape.ChooseKContext(ctx, series, seedNames, opts.KMin, opts.KMax, opts.Seed, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	finishReduction(cr, kept, series, sweep)
+	return cr, nil
+}
+
+// filterComponent applies the variance filter (§3.2: unvarying metrics
+// carry no load signal) and handles the trivial 0/1-survivor cases; kept
+// and series (sorted by metric name) feed the clustering step.
+func filterComponent(ds *Dataset, component string, opts ReduceOptions) (cr *ComponentReduction, kept []string, series [][]float64) {
 	seriesByName := ds.Series[component]
-	cr := &ComponentReduction{
+	cr = &ComponentReduction{
 		Component:   component,
 		Total:       len(seriesByName),
 		Assignments: map[string]int{},
 	}
 
-	// Variance filter (§3.2): unvarying metrics carry no load signal.
 	names := make([]string, 0, len(seriesByName))
 	for name := range seriesByName {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	var kept []string
-	var series [][]float64
 	for _, name := range names {
 		vals := seriesByName[name].Values
 		if timeseries.Variance(vals) <= opts.VarianceThreshold || timeseries.HasNaN(vals) {
@@ -191,25 +208,18 @@ func reduceComponent(ctx context.Context, ds *Dataset, component string, opts Re
 		kept = append(kept, name)
 		series = append(series, vals)
 	}
-
-	switch len(kept) {
-	case 0:
-		return cr, nil
-	case 1:
+	if len(kept) == 1 {
 		cr.K = 1
 		cr.Clusters = []Cluster{{ID: 0, Metrics: kept, Representative: kept[0]}}
 		cr.Assignments[kept[0]] = 0
-		return cr, nil
 	}
+	return cr, kept, series
+}
 
-	var seedNames []string
-	if opts.NameSeeding {
-		seedNames = kept
-	}
-	sweep, err := kshape.ChooseKContext(ctx, series, seedNames, opts.KMin, opts.KMax, opts.Seed, opts.Parallelism)
-	if err != nil {
-		return nil, err
-	}
+// finishReduction turns a clustering result into the component's
+// reduction: dense cluster IDs, sorted member lists, and the member
+// closest (SBD) to each centroid as the representative.
+func finishReduction(cr *ComponentReduction, kept []string, series [][]float64, sweep *kshape.SweepResult) {
 	cr.K = sweep.K
 	cr.Silhouette = sweep.Silhouette
 
@@ -235,5 +245,4 @@ func reduceComponent(ctx context.Context, ds *Dataset, component string, opts Re
 		}
 		cr.Clusters = append(cr.Clusters, cluster)
 	}
-	return cr, nil
 }

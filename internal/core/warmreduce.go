@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/sieve-microservices/sieve/internal/kshape"
+)
+
+// WarmOptions tunes warm-started online reduction (opt-in: batch Reduce
+// semantics are untouched; only callers that thread a WarmState through
+// consecutive cycles get the shortcut).
+type WarmOptions struct {
+	// ResweepEvery forces a full silhouette sweep after this many
+	// consecutive warm cycles per component, bounding how long a stale k
+	// can survive; 0 means DefaultWarmResweepEvery, negative disables
+	// the cadence entirely (quality degradation and metric-set changes
+	// still force sweeps).
+	ResweepEvery int
+	// SilhouetteTolerance is how far a warm cycle's silhouette may fall
+	// below the component's last full-sweep score before the shortcut is
+	// abandoned and the component is re-swept; 0 means
+	// DefaultWarmSilhouetteTolerance, negative means any degradation
+	// triggers a re-sweep.
+	SilhouetteTolerance float64
+}
+
+// DefaultWarmResweepEvery is the default full-sweep cadence (in cycles).
+const DefaultWarmResweepEvery = 10
+
+// DefaultWarmSilhouetteTolerance is the default allowed silhouette drop
+// relative to the last full sweep before a re-sweep is forced.
+const DefaultWarmSilhouetteTolerance = 0.05
+
+func (o WarmOptions) withDefaults() WarmOptions {
+	switch {
+	case o.ResweepEvery == 0:
+		o.ResweepEvery = DefaultWarmResweepEvery
+	case o.ResweepEvery < 0:
+		o.ResweepEvery = math.MaxInt // never on cadence alone
+	}
+	switch {
+	case o.SilhouetteTolerance == 0:
+		o.SilhouetteTolerance = DefaultWarmSilhouetteTolerance
+	case o.SilhouetteTolerance < 0:
+		// "Any degradation re-sweeps": clamp to exactly zero rather than
+		// letting a negative value demand improvement over the baseline,
+		// which would silently disable the warm path in steady state.
+		o.SilhouetteTolerance = 0
+	}
+	return o
+}
+
+// WarmState carries clustering state across online cycles: per component,
+// the k the last full sweep converged on, the latest raw cluster
+// assignments by metric name (the warm seed), and the sweep's silhouette
+// (the quality baseline degradation is measured against). A fresh (or
+// Reset) state makes the next ReduceWarmContext identical to a batch
+// ReduceContext. Not safe for concurrent use; the online driver
+// serializes cycles.
+type WarmState struct {
+	components map[string]*componentWarm
+}
+
+type componentWarm struct {
+	k int
+	// assignments maps metric name -> raw kshape cluster index (not the
+	// dense Cluster.ID renumbering), so it can seed the next cycle.
+	assignments map[string]int
+	// sweepSilhouette is the score of the last full sweep.
+	sweepSilhouette float64
+	// warmCycles counts consecutive warm cycles since that sweep.
+	warmCycles int
+}
+
+// NewWarmState creates an empty warm state.
+func NewWarmState() *WarmState {
+	return &WarmState{components: map[string]*componentWarm{}}
+}
+
+// Reset drops all carried state; the next cycle fully re-sweeps every
+// component (used by the online driver's periodic full recompute and
+// after restart).
+func (s *WarmState) Reset() {
+	s.components = map[string]*componentWarm{}
+}
+
+// WarmStats reports how many components took which path in one cycle.
+type WarmStats struct {
+	// WarmComponents were clustered from the previous cycle's
+	// assignments at a fixed k (no sweep).
+	WarmComponents int `json:"warm_components"`
+	// SweptComponents went through the full silhouette sweep (first
+	// sight, cadence reached, warm quality degraded, or metric set
+	// changed).
+	SweptComponents int `json:"swept_components"`
+	// TrivialComponents had fewer than two clusterable metrics.
+	TrivialComponents int `json:"trivial_components"`
+}
+
+// ReduceWarmContext is ReduceContext with warm-started clustering: each
+// component is seeded from state's previous assignments and clustered
+// once at the previously chosen k, skipping the silhouette sweep, as long
+// as (1) the metric set still matches the seed, (2) fewer than
+// opts.ResweepEvery warm cycles have passed since the last full sweep,
+// and (3) the warm silhouette stays within opts.SilhouetteTolerance of
+// the last sweep's score. Violating any of these re-sweeps the component
+// and resets its baseline. Warm results may differ from a from-scratch
+// batch reduction (that is the trade: the sweep is skipped entirely), so
+// this path is opt-in and never used when bit-identical artifacts are
+// required.
+func ReduceWarmContext(ctx context.Context, ds *Dataset, opts ReduceOptions, wopts WarmOptions, state *WarmState) (Reduction, WarmStats, error) {
+	var stats WarmStats
+	if state == nil {
+		return nil, stats, fmt.Errorf("core: warm reduce needs a WarmState")
+	}
+	if state.components == nil {
+		state.components = map[string]*componentWarm{}
+	}
+	opts = opts.withDefaults()
+	wopts = wopts.withDefaults()
+	components := ds.Components()
+
+	type outcome struct {
+		cr   *ComponentReduction
+		warm *componentWarm // nil for trivial components
+		took string         // "warm", "sweep", "trivial"
+	}
+	outcomes := make([]outcome, len(components))
+	sweepOpts := opts
+	sweepOpts.Parallelism = innerBudget(opts.Parallelism, len(components))
+	err := runTasks(ctx, opts.Parallelism, len(components), func(ctx context.Context, i int) error {
+		cr, warm, took, err := reduceComponentWarm(ctx, ds, components[i], sweepOpts, wopts, state.components[components[i]])
+		if err != nil {
+			return fmt.Errorf("core: reducing %s: %w", components[i], err)
+		}
+		outcomes[i] = outcome{cr: cr, warm: warm, took: took}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// State is mutated only here, after the fan-out, in component order:
+	// tasks read the previous cycle's entries and never write.
+	out := Reduction{}
+	next := map[string]*componentWarm{}
+	for i, component := range components {
+		out[component] = outcomes[i].cr
+		if outcomes[i].warm != nil {
+			next[component] = outcomes[i].warm
+		}
+		switch outcomes[i].took {
+		case "warm":
+			stats.WarmComponents++
+		case "sweep":
+			stats.SweptComponents++
+		default:
+			stats.TrivialComponents++
+		}
+	}
+	state.components = next
+	return out, stats, nil
+}
+
+// reduceComponentWarm reduces one component, taking the warm path when
+// the carried state allows it and falling back to the full sweep
+// otherwise. It returns the reduction, the state to carry into the next
+// cycle (nil for trivial components), and which path was taken.
+func reduceComponentWarm(ctx context.Context, ds *Dataset, component string, opts ReduceOptions, wopts WarmOptions, prev *componentWarm) (*ComponentReduction, *componentWarm, string, error) {
+	cr, kept, series := filterComponent(ds, component, opts)
+	if len(kept) < 2 {
+		return cr, nil, "trivial", nil
+	}
+
+	// dist survives a rejected warm attempt so the fallback sweep does
+	// not recompute the O(n^2) pairwise matrix it just paid for.
+	var dist [][]float64
+	if initial, ok := warmSeed(prev, kept, wopts); ok {
+		sweep, warmDist, err := kshape.ClusterWarmContext(ctx, series, initial, prev.k, opts.Seed)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if sweep.Silhouette >= prev.sweepSilhouette-wopts.SilhouetteTolerance {
+			finishReduction(cr, kept, series, sweep)
+			return cr, &componentWarm{
+				k:               prev.k,
+				assignments:     rawAssignments(kept, sweep.Assignments),
+				sweepSilhouette: prev.sweepSilhouette,
+				warmCycles:      prev.warmCycles + 1,
+			}, "warm", nil
+		}
+		// Quality degraded past the tolerance: fall through to a sweep.
+		dist = warmDist
+	}
+
+	var seedNames []string
+	if opts.NameSeeding {
+		seedNames = kept
+	}
+	sweep, err := kshape.ChooseKFromDist(ctx, series, dist, seedNames, opts.KMin, opts.KMax, opts.Seed, opts.Parallelism)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	finishReduction(cr, kept, series, sweep)
+	return cr, &componentWarm{
+		k:               sweep.K,
+		assignments:     rawAssignments(kept, sweep.Assignments),
+		sweepSilhouette: sweep.Silhouette,
+	}, "sweep", nil
+}
+
+// warmSeed maps the previous cycle's assignments onto the current metric
+// set, reporting false (forcing a sweep) when there is no previous state,
+// the re-sweep cadence is due, k no longer fits the survivor count, or
+// any current metric was never assigned (new metrics have no seed).
+func warmSeed(prev *componentWarm, kept []string, wopts WarmOptions) ([]int, bool) {
+	if prev == nil || prev.warmCycles >= wopts.ResweepEvery {
+		return nil, false
+	}
+	if prev.k < 2 || prev.k > len(kept) {
+		return nil, false
+	}
+	initial := make([]int, len(kept))
+	for i, name := range kept {
+		a, ok := prev.assignments[name]
+		if !ok || a < 0 || a >= prev.k {
+			return nil, false
+		}
+		initial[i] = a
+	}
+	return initial, true
+}
+
+// rawAssignments records a clustering's raw cluster index per metric name
+// for the next cycle's seed.
+func rawAssignments(kept []string, assign []int) map[string]int {
+	out := make(map[string]int, len(kept))
+	for i, name := range kept {
+		out[name] = assign[i]
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+)
+
+// warmTestDataset builds a two-component dataset with two clear shape
+// families per component (plus one constant metric that the variance
+// filter drops). shift slides the signals in time, imitating the next
+// cycle's window over drifting-but-stationary content.
+func warmTestDataset(shift int) *Dataset {
+	const n = 128
+	mk := func(name string, seed int64, f func(t float64) float64) *timeseries.Regular {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = f(float64(i+shift)) + 0.05*rng.NormFloat64()
+		}
+		return &timeseries.Regular{Name: name, StepMS: 500, Values: vals}
+	}
+	sine := func(t float64) float64 { return math.Sin(t / 9) }
+	ramp := func(t float64) float64 { return math.Mod(t, 40) / 40 }
+	ds := &Dataset{
+		App: "warmtest", StepMS: 500, Start: int64(shift) * 500, End: int64(shift+n) * 500,
+		Series: map[string]map[string]*timeseries.Regular{
+			"svc-a": {
+				"cpu_user_mean":  mk("cpu_user_mean", 1, sine),
+				"cpu_sys_mean":   mk("cpu_sys_mean", 2, sine),
+				"cpu_total_mean": mk("cpu_total_mean", 3, sine),
+				"req_rate_mean":  mk("req_rate_mean", 4, ramp),
+				"req_rate_p95":   mk("req_rate_p95", 5, ramp),
+				"build_info":     {Name: "build_info", StepMS: 500, Values: make([]float64, n)},
+			},
+			"svc-b": {
+				"io_read_mean":  mk("io_read_mean", 6, sine),
+				"io_write_mean": mk("io_write_mean", 7, sine),
+				"queue_depth":   mk("queue_depth", 8, ramp),
+				"queue_wait":    mk("queue_wait", 9, ramp),
+			},
+		},
+	}
+	return ds
+}
+
+// TestReduceWarmFirstCycleMatchesBatch: with no carried state every
+// component goes through the full sweep, so the result is the batch
+// reduction bit for bit.
+func TestReduceWarmFirstCycleMatchesBatch(t *testing.T) {
+	ds := warmTestDataset(0)
+	opts := DefaultReduceOptions()
+
+	batch, err := ReduceContext(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := NewWarmState()
+	warm, stats, err := ReduceWarmContext(context.Background(), ds, opts, WarmOptions{}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SweptComponents != 2 || stats.WarmComponents != 0 {
+		t.Fatalf("first cycle stats = %+v, want 2 swept / 0 warm", stats)
+	}
+	if !reflect.DeepEqual(warm, batch) {
+		t.Fatalf("first warm cycle diverged from batch:\nwarm:  %+v\nbatch: %+v", warm, batch)
+	}
+}
+
+// TestReduceWarmCyclesHoldQuality: subsequent cycles on drifted content
+// take the warm path, keep the chosen k, and report silhouettes within
+// the configured tolerance of the sweep baseline — the engine's
+// acceptance rule, asserted from the outside.
+func TestReduceWarmCyclesHoldQuality(t *testing.T) {
+	opts := DefaultReduceOptions()
+	wopts := WarmOptions{ResweepEvery: 100, SilhouetteTolerance: DefaultWarmSilhouetteTolerance}
+	state := NewWarmState()
+
+	base, stats, err := ReduceWarmContext(context.Background(), warmTestDataset(0), opts, wopts, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SweptComponents != 2 {
+		t.Fatalf("baseline cycle stats = %+v", stats)
+	}
+
+	for cycle := 1; cycle <= 4; cycle++ {
+		red, stats, err := ReduceWarmContext(context.Background(), warmTestDataset(cycle*3), opts, wopts, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.WarmComponents != 2 || stats.SweptComponents != 0 {
+			t.Fatalf("cycle %d stats = %+v, want 2 warm / 0 swept", cycle, stats)
+		}
+		for comp, cr := range red {
+			if cr.K != base[comp].K {
+				t.Fatalf("cycle %d: %s k drifted %d -> %d on a warm cycle", cycle, comp, base[comp].K, cr.K)
+			}
+			if cr.Silhouette < base[comp].Silhouette-wopts.SilhouetteTolerance {
+				t.Fatalf("cycle %d: %s warm silhouette %.4f below baseline %.4f - tolerance %.2f",
+					cycle, comp, cr.Silhouette, base[comp].Silhouette, wopts.SilhouetteTolerance)
+			}
+		}
+	}
+}
+
+// TestReduceWarmResweepReconverges: when the cadence forces a full
+// sweep, the component's reduction is exactly what a batch reduction of
+// the same dataset produces — the warm shortcut leaves no residue.
+func TestReduceWarmResweepReconverges(t *testing.T) {
+	opts := DefaultReduceOptions()
+	wopts := WarmOptions{ResweepEvery: 2, SilhouetteTolerance: 0.5}
+	state := NewWarmState()
+
+	// Cycle 0: sweep. Cycles 1-2: warm. Cycle 3: warmCycles hits the
+	// cadence, every component re-sweeps.
+	for cycle := 0; cycle <= 2; cycle++ {
+		_, stats, err := ReduceWarmContext(context.Background(), warmTestDataset(cycle), opts, wopts, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantWarm := 2
+		if cycle == 0 {
+			wantWarm = 0
+		}
+		if stats.WarmComponents != wantWarm {
+			t.Fatalf("cycle %d stats = %+v, want %d warm", cycle, stats, wantWarm)
+		}
+	}
+	ds := warmTestDataset(3)
+	red, stats, err := ReduceWarmContext(context.Background(), ds, opts, wopts, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SweptComponents != 2 || stats.WarmComponents != 0 {
+		t.Fatalf("resweep cycle stats = %+v, want 2 swept", stats)
+	}
+	batch, err := ReduceContext(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(red, batch) {
+		t.Fatalf("forced resweep did not reconverge to batch:\ngot:  %+v\nwant: %+v", red, batch)
+	}
+}
+
+// TestReduceWarmMetricSetChangeForcesSweep: a metric the seed never saw
+// makes the component ineligible for the warm path.
+func TestReduceWarmMetricSetChangeForcesSweep(t *testing.T) {
+	opts := DefaultReduceOptions()
+	state := NewWarmState()
+	if _, _, err := ReduceWarmContext(context.Background(), warmTestDataset(0), opts, WarmOptions{}, state); err != nil {
+		t.Fatal(err)
+	}
+
+	ds := warmTestDataset(1)
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 128)
+	for i := range vals {
+		vals[i] = math.Cos(float64(i)/5) + 0.05*rng.NormFloat64()
+	}
+	ds.Series["svc-a"]["brand_new_metric"] = &timeseries.Regular{Name: "brand_new_metric", StepMS: 500, Values: vals}
+
+	_, stats, err := ReduceWarmContext(context.Background(), ds, opts, WarmOptions{}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SweptComponents != 1 || stats.WarmComponents != 1 {
+		t.Fatalf("stats = %+v, want the changed component swept and the other warm", stats)
+	}
+}
+
+// TestReduceWarmParallelismDeterminism: warm reduction is bit-identical
+// at any worker count, like the batch path.
+func TestReduceWarmParallelismDeterminism(t *testing.T) {
+	opts := DefaultReduceOptions()
+	var want Reduction
+	for _, workers := range []int{1, 4} {
+		opts.Parallelism = workers
+		state := NewWarmState()
+		if _, _, err := ReduceWarmContext(context.Background(), warmTestDataset(0), opts, WarmOptions{}, state); err != nil {
+			t.Fatal(err)
+		}
+		red, _, err := ReduceWarmContext(context.Background(), warmTestDataset(2), opts, WarmOptions{}, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = red
+		} else if !reflect.DeepEqual(red, want) {
+			t.Fatalf("warm reduction differs at %d workers", workers)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/sieve-microservices/sieve/internal/timeseries"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// WindowCache assembles sliding-window Datasets incrementally: instead of
+// re-querying and re-bucketing the whole window every cycle, it keeps a
+// ring buffer of per-series bucket state (sum and observation count per
+// grid slot) and, when the window slides forward on the same grid, issues
+// ONE matcher query for just the new tail [prevEnd, newEnd), rolls every
+// ring forward, and evicts the expired head buckets.
+//
+// Equivalence contract: the Dataset returned by Advance is bit-identical
+// to DatasetFromDB over the same window, provided no point inside the
+// already-cached region was written after that region was queried
+// (append-mostly ingest). Each bucket's sum accumulates its points in
+// store order across tail queries — the same order a single full-window
+// query would deliver them — and the gap fill runs from scratch on the
+// assembled buckets every cycle, so sliding the window cannot perturb a
+// single bit relative to batch assembly. Late writes that land behind the
+// cached frontier are invisible until Invalidate (or the server's
+// -full-recompute-every) forces a full rebuild.
+//
+// Incremental reuse requires the new window to stay on the cached grid:
+// same step, same width, and a forward slide by a whole number of steps.
+// Any other shape (first cycle, width change, backward jump, slide past
+// the whole overlap, a store without matcher queries) falls back to the
+// full-rebuild path, which is one whole-window query and repopulates the
+// rings. A WindowCache is not safe for concurrent use; the online driver
+// serializes cycles.
+type WindowCache struct {
+	appName string
+	stepMS  int64
+
+	valid      bool
+	start, end int64
+	buckets    int
+	series     map[string]*seriesRing
+}
+
+// seriesRing is one series' bucket state over the current window: slot
+// (head+i) % len holds window bucket i.
+type seriesRing struct {
+	component, metric string
+	sums              []float64
+	counts            []int
+	head              int
+}
+
+// AdvanceStats reports what one Advance call did, for RunInfo and /stats.
+type AdvanceStats struct {
+	// FullRebuild is true when the whole window was re-queried;
+	// RebuildReason says why ("" on an incremental advance).
+	FullRebuild   bool   `json:"full_rebuild"`
+	RebuildReason string `json:"rebuild_reason,omitempty"`
+	// TailQueries and FullQueries count store matcher queries issued
+	// (an incremental advance is exactly one tail query; an unchanged
+	// window is zero).
+	TailQueries int `json:"tail_queries"`
+	FullQueries int `json:"full_queries"`
+	// RolledBuckets is how many grid slots the window slid forward.
+	RolledBuckets int `json:"rolled_buckets"`
+	// SeriesBorn counts series that first appeared in the tail,
+	// SeriesDied series whose last cached point expired out of the
+	// window, CachedSeries the ring count after the advance.
+	SeriesBorn   int `json:"series_born"`
+	SeriesDied   int `json:"series_died"`
+	CachedSeries int `json:"cached_series"`
+}
+
+// NewWindowCache creates an empty cache; the first Advance is always a
+// full rebuild.
+func NewWindowCache(appName string, stepMS int64) *WindowCache {
+	return &WindowCache{appName: appName, stepMS: stepMS}
+}
+
+// Invalidate drops all cached state, forcing the next Advance down the
+// full-rebuild path (used on restart and by the periodic full recompute).
+func (c *WindowCache) Invalidate() {
+	c.valid = false
+	c.series = nil
+}
+
+// Advance slides the cache to the window [start, end) and returns the
+// assembled Dataset (without a call graph), bit-identical to
+// DatasetFromDB(db, ...) over the same window under the append-mostly
+// contract documented on WindowCache.
+func (c *WindowCache) Advance(db tsdb.ReadStore, start, end int64) (*Dataset, AdvanceStats, error) {
+	var st AdvanceStats
+	if c.stepMS <= 0 {
+		return nil, st, fmt.Errorf("core: window cache has non-positive step %d", c.stepMS)
+	}
+	if end <= start {
+		return nil, st, fmt.Errorf("core: empty capture window [%d,%d)", start, end)
+	}
+	rq, ok := db.(tsdb.RangeQuerier)
+	if !ok {
+		// No matcher queries: nothing to cache a tail from. Stay on the
+		// plain batch path every cycle.
+		st.FullRebuild, st.RebuildReason = true, "store lacks matcher queries"
+		st.FullQueries = 1
+		ds, err := DatasetFromDB(db, c.appName, c.stepMS, start, end)
+		return ds, st, err
+	}
+
+	if reason := c.rollable(start, end); reason != "" {
+		st.FullRebuild, st.RebuildReason = true, reason
+		st.FullQueries = 1
+		ds, err := c.rebuild(rq, start, end)
+		st.CachedSeries = len(c.series)
+		return ds, st, err
+	}
+
+	delta := start - c.start
+	d := int(delta / c.stepMS)
+	st.RolledBuckets = d
+	if d > 0 {
+		for _, r := range c.series {
+			r.roll(d)
+		}
+		// One matcher query for the new tail only. [c.end, end) starts on
+		// a bucket boundary of the new window (delta is a whole number of
+		// steps and the width is unchanged), so every tail point lands in
+		// one of the d freshly-zeroed slots — or tops up the last partial
+		// bucket — in the same store order a full-window query would have
+		// delivered it.
+		st.TailQueries = 1
+		results, err := rq.QueryMatch("*", "*", c.end, end)
+		if err != nil {
+			c.Invalidate()
+			return nil, st, fmt.Errorf("core: matcher query over tail: %w", err)
+		}
+		for _, res := range results {
+			key := res.Component + "/" + res.Metric
+			r := c.series[key]
+			if r == nil {
+				// Born: first points ever inside the window. Everything
+				// this series has in [start, c.end) would already be
+				// cached if it existed there, so an empty head is exact.
+				r = newSeriesRing(res.Component, res.Metric, c.buckets)
+				c.series[key] = r
+				st.SeriesBorn++
+			}
+			r.add(res.Points, start, c.stepMS)
+		}
+		// Death: every cached point expired and nothing arrived.
+		for key, r := range c.series {
+			if r.empty() {
+				delete(c.series, key)
+				st.SeriesDied++
+			}
+		}
+	}
+	c.start, c.end = start, end
+
+	ds, err := c.assemble()
+	st.CachedSeries = len(c.series)
+	if err != nil {
+		return nil, st, err
+	}
+	return ds, st, nil
+}
+
+// rollable reports whether the cached rings can slide to [start, end),
+// returning "" when they can and the rebuild reason when they cannot.
+func (c *WindowCache) rollable(start, end int64) string {
+	switch {
+	case !c.valid:
+		return "first cycle"
+	case end-start != c.end-c.start:
+		return "window width changed"
+	case start < c.start:
+		return "window moved backwards"
+	case (start-c.start)%c.stepMS != 0:
+		return "window left the cached grid"
+	case start >= c.end:
+		return "window advanced past the cached overlap"
+	}
+	return ""
+}
+
+// rebuild queries the whole window once and repopulates the rings.
+func (c *WindowCache) rebuild(rq tsdb.RangeQuerier, start, end int64) (*Dataset, error) {
+	c.valid = false
+	c.start, c.end = start, end
+	c.buckets = timeseries.GridBuckets(start, end, c.stepMS)
+	c.series = map[string]*seriesRing{}
+
+	results, err := rq.QueryMatch("*", "*", start, end)
+	if err != nil {
+		return nil, fmt.Errorf("core: matcher query over window: %w", err)
+	}
+	for _, res := range results {
+		r := newSeriesRing(res.Component, res.Metric, c.buckets)
+		r.add(res.Points, start, c.stepMS)
+		if r.empty() {
+			continue // every point was NaN: batch assembly skips it too
+		}
+		c.series[res.Component+"/"+res.Metric] = r
+	}
+	ds, err := c.assemble()
+	if err != nil {
+		return nil, err
+	}
+	c.valid = true
+	return ds, nil
+}
+
+// assemble builds the Dataset for the current window from the rings. The
+// per-series grid goes through the same timeseries.FromBuckets call as
+// Resample, so reconstruction of empty buckets is identical to batch.
+func (c *WindowCache) assemble() (*Dataset, error) {
+	ds := &Dataset{
+		App:    c.appName,
+		StepMS: c.stepMS,
+		Start:  c.start,
+		End:    c.end,
+		Series: map[string]map[string]*timeseries.Regular{},
+	}
+	sums := make([]float64, c.buckets)
+	counts := make([]int, c.buckets)
+	for _, r := range c.series {
+		r.snapshot(sums, counts)
+		reg, err := timeseries.FromBuckets(r.metric, c.start, c.stepMS, sums, counts)
+		if err != nil {
+			continue // no usable points in the window: skipped, not fatal
+		}
+		if ds.Series[r.component] == nil {
+			ds.Series[r.component] = map[string]*timeseries.Regular{}
+		}
+		ds.Series[r.component][r.metric] = reg
+	}
+	if len(ds.Series) == 0 {
+		return nil, errors.New("core: capture produced no series")
+	}
+	return ds, nil
+}
+
+func newSeriesRing(component, metric string, buckets int) *seriesRing {
+	return &seriesRing{
+		component: component,
+		metric:    metric,
+		sums:      make([]float64, buckets),
+		counts:    make([]int, buckets),
+	}
+}
+
+// roll slides the ring forward by d buckets: the head advances and the d
+// slots that now form the window's tail are zeroed.
+func (r *seriesRing) roll(d int) {
+	n := len(r.sums)
+	if d >= n {
+		d = n
+	}
+	for i := 0; i < d; i++ {
+		slot := (r.head + i) % n
+		r.sums[slot], r.counts[slot] = 0, 0
+	}
+	r.head = (r.head + d) % n
+}
+
+// add buckets raw points into the ring, mirroring Resample's accumulation
+// exactly (NaN and out-of-window points skipped, sum += in delivery
+// order). The p.T < start guard must precede the index computation:
+// truncation-toward-zero division would otherwise map (start-stepMS,
+// start) onto bucket 0.
+func (r *seriesRing) add(pts []tsdb.Point, start, stepMS int64) {
+	n := len(r.sums)
+	for _, p := range pts {
+		if p.T < start || math.IsNaN(p.V) {
+			continue
+		}
+		i := int((p.T - start) / stepMS)
+		if i >= n {
+			continue
+		}
+		slot := (r.head + i) % n
+		r.sums[slot] += p.V
+		r.counts[slot]++
+	}
+}
+
+// empty reports whether no bucket holds an observation.
+func (r *seriesRing) empty() bool {
+	for _, c := range r.counts {
+		if c > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot copies the ring into window order (bucket 0 first).
+func (r *seriesRing) snapshot(sums []float64, counts []int) {
+	n := len(r.sums)
+	for i := 0; i < n; i++ {
+		slot := (r.head + i) % n
+		sums[i], counts[i] = r.sums[slot], r.counts[slot]
+	}
+}
+
+// Window returns the currently cached window ([0,0) before the first
+// successful Advance).
+func (c *WindowCache) Window() (start, end int64) {
+	if !c.valid {
+		return 0, 0
+	}
+	return c.start, c.end
+}
+
+// AlignWindowEnd returns the exclusive end of the last grid step fully
+// completed by maxTime — i.e. aligned DOWN, so a point at a
+// grid-aligned maxTime itself sits just past the returned end and only
+// enters the window once its step completes. The online driver uses it
+// so consecutive incremental windows slide by whole steps. It returns 0
+// when not even one full step has completed.
+func AlignWindowEnd(maxTime, stepMS int64) int64 {
+	if stepMS <= 0 {
+		return maxTime + 1
+	}
+	return (maxTime + 1) / stepMS * stepMS
+}
+
+// seriesKeyParts splits a "component/metric" key (helper shared with the
+// legacy dataset path).
+func seriesKeyParts(key string) (component, metric string, ok bool) {
+	slash := strings.IndexByte(key, '/')
+	if slash < 0 {
+		return "", "", false
+	}
+	return key[:slash], key[slash+1:], true
+}

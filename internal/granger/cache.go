@@ -1,0 +1,144 @@
+package granger
+
+import (
+	"math"
+	"sync"
+)
+
+// Fingerprint is a cheap content hash of a series: FNV-1a over the
+// length followed by the raw float64 bits, so distinct-length series
+// (including zero-extended prefixes) hash differently. Two series with
+// equal fingerprints are treated as identical inputs by the Cache;
+// since a Granger test depends on nothing but the two value slices,
+// reusing a result on a fingerprint match is exact up to the ~2^-64
+// collision probability of a 64-bit content hash.
+func Fingerprint(v []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	mix := func(h, b uint64) uint64 {
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+		return h
+	}
+	h := mix(offset64, uint64(len(v)))
+	for _, x := range v {
+		h = mix(h, math.Float64bits(x))
+	}
+	return h
+}
+
+// cacheKey identifies one Direction call: both inputs by content and the
+// options that change the outcome.
+type cacheKey struct {
+	fx, fy   uint64
+	lx, ly   int
+	maxLag   int
+	ownLags  int
+	adfLags  int
+	alpha    float64
+	skipStat bool
+}
+
+// cacheEntry is one memoized Direction outcome. Entries are immutable
+// after insertion: the TestResult pointers are shared with every cache
+// hit, and callers only read them.
+type cacheEntry struct {
+	dir    Causality
+	xy, yx *TestResult
+	err    error
+	gen    uint64
+}
+
+// Cache memoizes Direction calls by the content fingerprints of both
+// series. The online pipeline re-tests every representative pair each
+// cycle even though, between cycles without new data (or for series whose
+// window did not change), the inputs are byte-identical; the cache turns
+// those re-tests into map hits. An edge is recomputed exactly when one of
+// its series' bytes changed — a rolled window tail, a representative that
+// switched cluster, a differently-shaped reduction — so cached results
+// are always bit-identical to a fresh computation and the cache stays
+// safe even for runs that must match batch output exactly.
+//
+// Eviction is generational mark-and-sweep: the driver calls
+// NextGeneration once per cycle, entries untouched for two consecutive
+// generations are dropped (the window rolled past them).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	gen     uint64
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// Direction is Cache-memoized granger.Direction: on a key hit the stored
+// classification and test results are returned without touching the
+// series again; on a miss the test runs and the outcome (errors included
+// — they are deterministic in the inputs) is stored. Safe for concurrent
+// use; two goroutines racing on the same missing key both compute the
+// identical result and one insert wins.
+func (c *Cache) Direction(x, y []float64, opts Options) (Causality, *TestResult, *TestResult, error) {
+	eff := opts.withDefaults()
+	key := cacheKey{
+		fx: Fingerprint(x), fy: Fingerprint(y),
+		lx: len(x), ly: len(y),
+		maxLag: eff.MaxLag, ownLags: eff.OwnLags, adfLags: eff.ADFLags,
+		alpha: eff.Alpha, skipStat: eff.SkipStationarity,
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.gen = c.gen
+		c.hits++
+		c.mu.Unlock()
+		return e.dir, e.xy, e.yx, e.err
+	}
+	c.misses++
+	gen := c.gen
+	c.mu.Unlock()
+
+	dir, xy, yx, err := Direction(x, y, opts)
+	c.mu.Lock()
+	c.entries[key] = &cacheEntry{dir: dir, xy: xy, yx: yx, err: err, gen: gen}
+	c.mu.Unlock()
+	return dir, xy, yx, err
+}
+
+// NextGeneration starts a new cycle: entries not touched since the
+// previous generation (their pair disappeared, or its content changed and
+// the old key went cold) are evicted so a long-running driver's cache
+// tracks the live edge set instead of growing without bound.
+func (c *Cache) NextGeneration() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	for k, e := range c.entries {
+		if c.gen-e.gen > 1 {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Flush drops every entry and resets the hit/miss counters (the online
+// driver's periodic full recompute).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[cacheKey]*cacheEntry{}
+	c.gen, c.hits, c.misses = 0, 0, 0
+}
+
+// Stats returns the cumulative hit/miss counters and the live entry
+// count.
+func (c *Cache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,136 @@
+package granger
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// causalPair returns an x that Granger-causes y (y echoes x's past).
+func cachedCausalPair(n int, seed int64) (x, y []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)/7) + 0.1*rng.NormFloat64()
+	}
+	for i := 1; i < n; i++ {
+		y[i] = 0.8*x[i-1] + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestFingerprintContentSensitivity(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("equal content must hash equal")
+	}
+	b[2] = math.Nextafter(3, 4)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("a one-ULP change must change the fingerprint")
+	}
+	if Fingerprint([]float64{}) != Fingerprint(nil) {
+		t.Fatal("empty and nil series are the same content")
+	}
+}
+
+// TestCacheDirectionBitIdentical: a hit returns exactly what the
+// uncached Direction computed, and the second identical call is a hit.
+func TestCacheDirectionBitIdentical(t *testing.T) {
+	x, y := cachedCausalPair(128, 3)
+	opts := Options{MaxLag: 1}
+
+	wantDir, wantXY, wantYX, wantErr := Direction(x, y, opts)
+	if wantErr != nil {
+		t.Fatal(wantErr)
+	}
+
+	c := NewCache()
+	for call := 0; call < 2; call++ {
+		dir, xy, yx, err := c.Direction(x, y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dir != wantDir || *xy != *wantXY || *yx != *wantYX {
+			t.Fatalf("call %d: cached result diverged: dir=%v xy=%+v yx=%+v", call, dir, xy, yx)
+		}
+	}
+	if hits, misses, entries := c.Stats(); hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("hits=%d misses=%d entries=%d, want 1/1/1", hits, misses, entries)
+	}
+
+	// Any content change is a miss (a dirty edge recomputes).
+	y2 := append([]float64(nil), y...)
+	y2[len(y2)-1] += 0.5
+	if _, _, _, err := c.Direction(x, y2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("after content change: hits=%d misses=%d, want 1/2", hits, misses)
+	}
+
+	// Different options on identical content are a different key.
+	if _, _, _, err := c.Direction(x, y, Options{MaxLag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 3 {
+		t.Fatalf("after options change: hits=%d misses=%d, want 1/3", hits, misses)
+	}
+}
+
+// TestCacheCachesErrors: deterministic failures (series too short) are
+// memoized too, so a dirty-edge scan does not re-derive them each cycle.
+func TestCacheCachesErrors(t *testing.T) {
+	short := []float64{1, 2, 1.5}
+	c := NewCache()
+	_, _, _, err1 := c.Direction(short, short, Options{})
+	_, _, _, err2 := c.Direction(short, short, Options{})
+	if err1 == nil || err2 == nil {
+		t.Fatal("short series should error")
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want the error memoized", hits, misses)
+	}
+}
+
+// TestCacheGenerationEviction: entries untouched for two generations are
+// dropped; touched ones survive.
+func TestCacheGenerationEviction(t *testing.T) {
+	x, y := cachedCausalPair(128, 5)
+	a, b := cachedCausalPair(128, 9)
+	c := NewCache()
+	opts := Options{MaxLag: 1}
+
+	if _, _, _, err := c.Direction(x, y, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Direction(a, b, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cycle 1 touches only (x, y); cycle 2 the same. After cycle 2's
+	// sweep, (a, b) is two generations cold and gone.
+	for i := 0; i < 2; i++ {
+		c.NextGeneration()
+		if _, _, _, err := c.Direction(x, y, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.NextGeneration()
+	if _, _, entries := c.Stats(); entries != 1 {
+		t.Fatalf("entries=%d after eviction sweeps, want 1 (only the live pair)", entries)
+	}
+
+	// The evicted pair recomputes as a miss, bit-identical still.
+	wantDir, _, _, _ := Direction(a, b, opts)
+	dir, _, _, err := c.Direction(a, b, opts)
+	if err != nil || dir != wantDir {
+		t.Fatalf("recomputed evicted pair: dir=%v err=%v, want %v", dir, err, wantDir)
+	}
+
+	c.Flush()
+	if hits, misses, entries := c.Stats(); hits != 0 || misses != 0 || entries != 0 {
+		t.Fatalf("flush left hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+}

@@ -94,6 +94,16 @@ func ChooseK(series [][]float64, names []string, kMin, kMax int, seed int64) (*S
 // and the winner is selected in ascending-k order afterwards, so the
 // result is identical to the sequential sweep at any worker count.
 func ChooseKContext(ctx context.Context, series [][]float64, names []string, kMin, kMax int, seed int64, workers int) (*SweepResult, error) {
+	return ChooseKFromDist(ctx, series, nil, names, kMin, kMax, seed, workers)
+}
+
+// ChooseKFromDist is ChooseKContext with an optional caller-supplied
+// distance matrix (PairwiseSBD over the z-normalized series, the one the
+// sweep would compute itself when dist is nil). The warm-start
+// degradation fallback uses it so a component that just scored its warm
+// clustering does not pay the O(n^2) matrix a second time for the
+// re-sweep.
+func ChooseKFromDist(ctx context.Context, series [][]float64, dist [][]float64, names []string, kMin, kMax int, seed int64, workers int) (*SweepResult, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, errors.New("kshape: no series")
@@ -124,10 +134,14 @@ func ChooseKContext(ctx context.Context, series [][]float64, names []string, kMi
 		return nil, err
 	}
 
-	// The distance matrix is independent of k; compute it once.
-	dist, err := PairwiseSBD(normalizeAll(series))
-	if err != nil {
-		return nil, err
+	// The distance matrix is independent of k; compute it once (or
+	// reuse the caller's).
+	if dist == nil {
+		var err error
+		dist, err = PairwiseSBD(normalizeAll(series))
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Sweep the candidate cluster counts concurrently; each attempt
@@ -137,7 +151,7 @@ func ChooseKContext(ctx context.Context, series [][]float64, names []string, kMi
 		score float64
 	}
 	attempts := make([]attempt, kMax-kMin+1)
-	err = parallel.ForEach(ctx, workers, len(attempts), func(_ context.Context, i int) error {
+	err := parallel.ForEach(ctx, workers, len(attempts), func(_ context.Context, i int) error {
 		opts := Options{K: kMin + i, Seed: seed, Restarts: 3}
 		if names != nil {
 			opts.InitialAssignments = NameSeeds(names, opts.K)

@@ -28,4 +28,18 @@
 // /query byte-identically to the store that was killed. ListenAndServe
 // checkpoints and closes the store on graceful shutdown; embedders
 // using Handler call Server.Close themselves.
+//
+// # Incremental execution
+//
+// With Options.Incremental the online driver carries state across
+// cycles (onlineState in online.go): dataset assembly rolls a
+// ring-buffered window cache forward with one tail-only store query,
+// and Granger pair tests are memoized by series-content fingerprints —
+// both bit-identical to a from-scratch run under append-mostly ingest,
+// with Options.FullRecomputeEvery as the periodic self-heal. The
+// opt-in Options.WarmStart additionally seeds clustering from the
+// previous cycle and skips the silhouette sweep while quality holds.
+// RunInfo and /stats break every cycle down per stage and report cache
+// hit/recompute counts. The carried state is memory-only: a restarted
+// server rebuilds it through the full path on its first cycle.
 package server

@@ -4,16 +4,40 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"time"
 
 	"github.com/sieve-microservices/sieve/internal/callgraph"
 	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/granger"
 )
 
 // ErrNoData reports that the store does not yet hold enough data to
 // cover a meaningful analysis window; the background driver treats it as
 // "try again next tick", POST /run surfaces it as 409.
 var ErrNoData = errors.New("server: not enough ingested data for a pipeline run")
+
+// StageTimings is the per-stage elapsed breakdown of one pipeline run,
+// so a cycle-time regression is attributable to the stage that caused
+// it.
+type StageTimings struct {
+	// Assemble covers dataset assembly (store queries + resampling, or
+	// the incremental cache advance).
+	Assemble time.Duration `json:"assemble_ns"`
+	// Reduce covers step 2 (variance filter + clustering).
+	Reduce time.Duration `json:"reduce_ns"`
+	// Deps covers step 3 (Granger tests over representative pairs).
+	Deps time.Duration `json:"deps_ns"`
+	// Marshal covers artifact serialization.
+	Marshal time.Duration `json:"marshal_ns"`
+}
+
+// String renders the breakdown for the state-change log line.
+func (t StageTimings) String() string {
+	return fmt.Sprintf("assemble %s, reduce %s, deps %s, marshal %s",
+		t.Assemble.Round(time.Microsecond), t.Reduce.Round(time.Microsecond),
+		t.Deps.Round(time.Microsecond), t.Marshal.Round(time.Microsecond))
+}
 
 // RunInfo summarizes one completed pipeline run (also the POST /run
 // response body).
@@ -25,11 +49,63 @@ type RunInfo struct {
 	End   int64 `json:"window_end_ms"`
 	// Elapsed is the wall time of the run.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Stages breaks Elapsed down per pipeline stage.
+	Stages StageTimings `json:"stages"`
 	// Series is the number of series analyzed, Clusters the reduced
 	// metric count, Edges the dependency count.
 	Series   int `json:"series"`
 	Clusters int `json:"clusters"`
 	Edges    int `json:"edges"`
+
+	// Incremental reports whether the run used the incremental engine;
+	// the remaining fields describe what it reused vs recomputed.
+	Incremental bool `json:"incremental,omitempty"`
+	// ForcedFullRecompute is true when this cycle hit the
+	// FullRecomputeEvery cadence and dropped all carried state first.
+	ForcedFullRecompute bool `json:"forced_full_recompute,omitempty"`
+	// Assembly reports the window cache's work (tail vs full queries,
+	// rolled buckets, series births/deaths). Nil on batch runs.
+	Assembly *core.AdvanceStats `json:"assembly,omitempty"`
+	// WarmReduce reports how many components were warm-started vs fully
+	// re-swept. Nil when warm start is off.
+	WarmReduce *core.WarmStats `json:"warm_reduce,omitempty"`
+	// GrangerCacheHits/Misses count this run's memoized vs freshly
+	// computed pair tests (zero when the cache is off).
+	GrangerCacheHits   int64 `json:"granger_cache_hits,omitempty"`
+	GrangerCacheMisses int64 `json:"granger_cache_misses,omitempty"`
+}
+
+// onlineState is the state the incremental engine carries from one
+// pipeline cycle to the next. It is guarded by Server.runMu (cycles are
+// serialized) and lives only in memory: a restarted server starts cold
+// and the first cycle rebuilds everything through the full path.
+type onlineState struct {
+	// cache is the ring-buffered sliding-window dataset cache (nil
+	// unless Options.Incremental).
+	cache *core.WindowCache
+	// gcache memoizes Granger pair tests by series content (nil unless
+	// Options.Incremental); hits are bit-identical to recomputation.
+	gcache *granger.Cache
+	// warm carries clustering assignments across cycles (nil unless
+	// Options.WarmStart).
+	warm *core.WarmState
+	// cycles counts completed runs since the state was created, driving
+	// the FullRecomputeEvery cadence.
+	cycles int64
+}
+
+// reset drops all carried state so the next cycle recomputes from
+// scratch (the periodic full recompute).
+func (o *onlineState) reset() {
+	if o.cache != nil {
+		o.cache.Invalidate()
+	}
+	if o.gcache != nil {
+		o.gcache.Flush()
+	}
+	if o.warm != nil {
+		o.warm.Reset()
+	}
 }
 
 // snapshotGraph returns the current topology, or an empty graph when
@@ -44,11 +120,53 @@ func (s *Server) snapshotGraph() *callgraph.Graph {
 	return s.graph
 }
 
+// pipelineWindow picks the analysis window for this cycle. Batch mode
+// keeps the historical shape [hi-WindowMS, hi+1). Incremental mode
+// aligns the exclusive end down to the sampling grid so consecutive
+// windows slide by whole steps and the cache's rings can roll instead of
+// rebuilding; the window is then exactly WindowMS wide once the store
+// has filled it.
+func (s *Server) pipelineWindow(hi int64) (lo, end int64, err error) {
+	if s.opts.Incremental {
+		end = core.AlignWindowEnd(hi, s.opts.StepMS)
+		if end <= 0 {
+			return 0, 0, fmt.Errorf("%w: ingested data spans less than one grid step", ErrNoData)
+		}
+		lo = end - s.opts.WindowMS
+		if lo < 0 {
+			lo = 0
+		}
+		if got := (end - lo) / s.opts.StepMS; got < int64(s.opts.MinWindowSamples) {
+			return 0, 0, fmt.Errorf("%w: window spans %d of %d required grid steps",
+				ErrNoData, got, s.opts.MinWindowSamples)
+		}
+		return lo, end, nil
+	}
+	lo = hi - s.opts.WindowMS
+	if lo < 0 {
+		lo = 0
+	}
+	end = hi + 1 // window is [lo, hi] inclusive of the newest point
+	if got := (hi - lo) / s.opts.StepMS; got < int64(s.opts.MinWindowSamples) {
+		return 0, 0, fmt.Errorf("%w: window spans %d of %d required grid steps",
+			ErrNoData, got, s.opts.MinWindowSamples)
+	}
+	return lo, end, nil
+}
+
 // RunPipelineOnce executes one windowed pipeline cycle: slide the window
 // to the store's high-water mark, assemble a dataset from the sharded
 // store, run Reduce + Granger with the configured parallelism, and
 // publish the new artifact. Runs are serialized; readers keep seeing the
 // previous artifact until the new one is swapped in.
+//
+// With Options.Incremental the cycle carries state: dataset assembly
+// reads only the window's new tail through the ring-buffered cache,
+// Granger pair tests whose inputs did not change byte-for-byte are
+// served from the fingerprint cache (both bit-identical to a
+// from-scratch run under append-mostly ingest), and — opt-in via
+// Options.WarmStart — clustering is seeded from the previous cycle's
+// assignments, skipping the silhouette sweep while quality holds.
 func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
@@ -58,49 +176,97 @@ func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 	if hi == 0 {
 		return nil, fmt.Errorf("%w: store is empty", ErrNoData)
 	}
-	lo := hi - s.opts.WindowMS
-	if lo < 0 {
-		lo = 0
-	}
-	end := hi + 1 // window is [lo, hi] inclusive of the newest point
-	if got := (hi - lo) / s.opts.StepMS; got < int64(s.opts.MinWindowSamples) {
-		return nil, fmt.Errorf("%w: window spans %d of %d required grid steps",
-			ErrNoData, got, s.opts.MinWindowSamples)
+	lo, end, err := s.pipelineWindow(hi)
+	if err != nil {
+		return nil, err
 	}
 
-	ds, err := core.DatasetFromDB(s.store, s.opts.AppName, s.opts.StepMS, lo, end)
+	info := RunInfo{Incremental: s.opts.Incremental}
+	carriesState := s.online.cache != nil || s.online.gcache != nil || s.online.warm != nil
+	if carriesState && s.opts.FullRecomputeEvery > 0 && s.online.cycles > 0 &&
+		s.online.cycles%int64(s.opts.FullRecomputeEvery) == 0 {
+		// Periodic self-heal: drop every cache so this cycle recomputes
+		// from scratch (repairs drift from late-arriving writes behind
+		// the cached frontier, and re-sweeps every component).
+		s.online.reset()
+		info.ForcedFullRecompute = true
+	}
+
+	stage := time.Now()
+	var ds *core.Dataset
+	if s.online.cache != nil {
+		var ast core.AdvanceStats
+		ds, ast, err = s.online.cache.Advance(s.store, lo, end)
+		info.Assembly = &ast
+		if ast.FullRebuild {
+			s.fullRebuilds.Add(1)
+		}
+		s.tailQueries.Add(int64(ast.TailQueries))
+	} else {
+		ds, err = core.DatasetFromDB(s.store, s.opts.AppName, s.opts.StepMS, lo, end)
+	}
+	info.Stages.Assemble = time.Since(stage)
 	if err != nil {
 		return nil, s.recordErr(fmt.Errorf("assembling window dataset: %w", err))
 	}
 	ds.CallGraph = s.snapshotGraph()
 
-	red, err := core.ReduceContext(ctx, ds, *s.opts.Reduce)
+	stage = time.Now()
+	var red core.Reduction
+	if s.online.warm != nil {
+		var wst core.WarmStats
+		red, wst, err = core.ReduceWarmContext(ctx, ds, *s.opts.Reduce, core.WarmOptions{
+			ResweepEvery:        s.opts.WarmResweepEvery,
+			SilhouetteTolerance: s.opts.WarmSilhouetteTolerance,
+		}, s.online.warm)
+		info.WarmReduce = &wst
+		s.warmComponents.Add(int64(wst.WarmComponents))
+		s.sweptComponents.Add(int64(wst.SweptComponents))
+	} else {
+		red, err = core.ReduceContext(ctx, ds, *s.opts.Reduce)
+	}
+	info.Stages.Reduce = time.Since(stage)
 	if err != nil {
 		return nil, s.recordErr(fmt.Errorf("reduce: %w", err))
 	}
-	graph, err := core.IdentifyDependenciesContext(ctx, ds, red, s.opts.Deps)
+
+	stage = time.Now()
+	var graph *core.DependencyGraph
+	if s.online.gcache != nil {
+		h0, m0, _ := s.online.gcache.Stats()
+		graph, err = core.IdentifyDependenciesCached(ctx, ds, red, s.opts.Deps, s.online.gcache)
+		h1, m1, _ := s.online.gcache.Stats()
+		info.GrangerCacheHits, info.GrangerCacheMisses = int64(h1-h0), int64(m1-m0)
+		s.grangerHits.Add(info.GrangerCacheHits)
+		s.grangerMisses.Add(info.GrangerCacheMisses)
+	} else {
+		graph, err = core.IdentifyDependenciesContext(ctx, ds, red, s.opts.Deps)
+	}
+	info.Stages.Deps = time.Since(stage)
 	if err != nil {
 		return nil, s.recordErr(fmt.Errorf("identify dependencies: %w", err))
 	}
+
+	stage = time.Now()
 	art := &core.Artifact{App: s.opts.AppName, Dataset: ds, Reduction: red, Graph: graph}
 	data, err := core.MarshalArtifact(art)
+	info.Stages.Marshal = time.Since(stage)
 	if err != nil {
 		return nil, s.recordErr(fmt.Errorf("marshaling artifact: %w", err))
 	}
 
-	info := RunInfo{
-		Generation: s.generation.Add(1),
-		Start:      lo,
-		End:        end,
-		Elapsed:    time.Since(started),
-		Series:     ds.TotalMetrics(),
-		Clusters:   red.TotalAfter(),
-		Edges:      len(graph.Edges),
-	}
+	info.Generation = s.generation.Add(1)
+	info.Start, info.End = lo, end
+	info.Elapsed = time.Since(started)
+	info.Series = ds.TotalMetrics()
+	info.Clusters = red.TotalAfter()
+	info.Edges = len(graph.Edges)
+
 	// The autoscaling signal only changes when the artifact does;
 	// compute it once here instead of on every /artifact poll.
 	metric, relations := graph.MostFrequentMetric()
 
+	s.online.cycles++
 	s.runs.Add(1)
 	s.mu.Lock()
 	s.artifact = art
@@ -108,15 +274,37 @@ func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 	s.signal = Signal{Metric: metric, Relations: relations}
 	s.lastRun = info
 	s.lastErr = ""
+	recovered := s.runFailing
+	s.runFailing = false
 	s.mu.Unlock()
+	if recovered {
+		// Mirror the durable store's checkpoint health reporting: log
+		// once per state change, with the stage breakdown so the
+		// recovery cycle's cost is attributable.
+		log.Printf("server: pipeline recovered (gen %d, window [%d,%d), %s)",
+			info.Generation, lo, end, info.Stages)
+	}
 	return &info, nil
 }
 
-// recordErr remembers the failure for /stats and passes it through.
+// recordErr remembers the failure for /stats, passes it through, and —
+// like the durable store's checkpoint health — logs once per
+// failing -> recovered state change, never per tick. Context
+// cancellation is the caller abandoning the run (a disconnected POST
+// /run, shutdown mid-cycle), not a pipeline fault: it is remembered in
+// lastErr but never flips the failing state or logs.
 func (s *Server) recordErr(err error) error {
+	canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	s.mu.Lock()
 	s.lastErr = err.Error()
+	transition := !canceled && !s.runFailing
+	if !canceled {
+		s.runFailing = true
+	}
 	s.mu.Unlock()
+	if transition {
+		log.Printf("server: pipeline failing (kept serving last artifact): %v", err)
+	}
 	return err
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/sieve-microservices/sieve/internal/callgraph"
 	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/granger"
 	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
@@ -57,6 +58,38 @@ type Options struct {
 	CallGraph *callgraph.Graph
 	// MaxBodyBytes bounds a single /write payload (default 32 MiB).
 	MaxBodyBytes int64
+
+	// Incremental switches the online pipeline to the incremental
+	// engine: window ends are aligned down to the sampling grid so
+	// consecutive cycles slide by whole steps, dataset assembly keeps a
+	// ring-buffered bucket cache and queries only the window's new tail,
+	// and Granger pair tests are memoized by series content. Results are
+	// bit-identical to a from-scratch run on the same window as long as
+	// ingest is append-mostly (no writes landing behind the cached
+	// frontier); FullRecomputeEvery bounds the drift when it is not.
+	Incremental bool
+	// FullRecomputeEvery, with Incremental, drops all carried state
+	// every N cycles so the pipeline recomputes from scratch — the
+	// self-heal against late-arriving writes the tail queries missed.
+	// 0 never forces a recompute.
+	FullRecomputeEvery int
+	// WarmStart seeds each component's clustering from the previous
+	// cycle's assignments at the previously chosen k, skipping the
+	// silhouette sweep while quality holds (re-sweeping every
+	// WarmResweepEvery cycles, or when the warm silhouette drops more
+	// than WarmSilhouetteTolerance below the last full sweep's score).
+	// Opt-in: warm results may differ from a from-scratch reduction.
+	WarmStart bool
+	// WarmResweepEvery is the forced full-sweep cadence in cycles
+	// (0 = core.DefaultWarmResweepEvery, negative = never on cadence
+	// alone — degradation and metric-set changes still re-sweep). Only
+	// meaningful with WarmStart.
+	WarmResweepEvery int
+	// WarmSilhouetteTolerance is the allowed warm-cycle silhouette drop
+	// before a re-sweep (0 = core.DefaultWarmSilhouetteTolerance,
+	// negative = any degradation re-sweeps). Only meaningful with
+	// WarmStart.
+	WarmSilhouetteTolerance float64
 
 	// DataDir, when non-empty, makes the store durable: every write is
 	// appended to a per-shard CRC-checked WAL under DataDir before it is
@@ -134,11 +167,23 @@ type Server struct {
 	signal       Signal
 	lastRun      RunInfo
 	lastErr      string
+	runFailing   bool // drives once-per-state-change pipeline logging
 
-	// runMu serializes pipeline runs (driver tick vs POST /run).
+	// runMu serializes pipeline runs (driver tick vs POST /run) and
+	// guards the incremental engine's carried state.
 	runMu      sync.Mutex
+	online     onlineState
 	generation atomic.Int64
 	runs       atomic.Int64
+
+	// Cumulative incremental-engine counters for /stats (atomics: read
+	// by handlers while a run is in flight).
+	fullRebuilds    atomic.Int64
+	tailQueries     atomic.Int64
+	grangerHits     atomic.Int64
+	grangerMisses   atomic.Int64
+	warmComponents  atomic.Int64
+	sweptComponents atomic.Int64
 }
 
 // New creates a Server with its backing sharded store. With
@@ -149,6 +194,9 @@ func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.StepMS > opts.WindowMS {
 		return nil, fmt.Errorf("server: step %dms exceeds window %dms", opts.StepMS, opts.WindowMS)
+	}
+	if opts.FullRecomputeEvery < 0 {
+		return nil, fmt.Errorf("server: negative FullRecomputeEvery %d", opts.FullRecomputeEvery)
 	}
 	var store *tsdb.Sharded
 	if opts.DataDir != "" {
@@ -172,6 +220,16 @@ func New(opts Options) (*Server, error) {
 		opts:  opts,
 		store: store,
 		graph: opts.CallGraph,
+	}
+	// The incremental engine's carried state. It lives only in memory:
+	// after a restart the caches start cold and the first cycle goes
+	// through the full-rebuild path against the recovered store.
+	if opts.Incremental {
+		s.online.cache = core.NewWindowCache(opts.AppName, opts.StepMS)
+		s.online.gcache = granger.NewCache()
+	}
+	if opts.WarmStart {
+		s.online.warm = core.NewWarmState()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /write", s.handleWrite)
@@ -378,12 +436,32 @@ type StatsResponse struct {
 	Generation   int64  `json:"generation"`
 	PipelineRuns int64  `json:"pipeline_runs"`
 	LastError    string `json:"last_error,omitempty"`
+
+	// Incremental-engine health: cumulative counts since boot of full
+	// window rebuilds vs tail-only advances, memoized vs recomputed
+	// Granger pair tests, and warm-started vs fully re-swept component
+	// reductions. LastRun carries the most recent run's per-stage
+	// elapsed breakdown so cycle-time regressions are attributable.
+	Incremental        bool     `json:"incremental,omitempty"`
+	WarmStart          bool     `json:"warm_start,omitempty"`
+	FullRebuilds       int64    `json:"full_rebuilds,omitempty"`
+	TailQueries        int64    `json:"tail_queries,omitempty"`
+	GrangerCacheHits   int64    `json:"granger_cache_hits,omitempty"`
+	GrangerCacheMisses int64    `json:"granger_cache_misses,omitempty"`
+	WarmComponents     int64    `json:"warm_components,omitempty"`
+	SweptComponents    int64    `json:"swept_components,omitempty"`
+	LastRun            *RunInfo `json:"last_run,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
 	s.mu.RLock()
 	lastErr := s.lastErr
+	var lastRun *RunInfo
+	if s.lastRun.Generation > 0 {
+		run := s.lastRun
+		lastRun = &run
+	}
 	s.mu.RUnlock()
 	writeJSON(w, StatsResponse{
 		App:                 s.opts.AppName,
@@ -407,6 +485,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Generation:          s.generation.Load(),
 		PipelineRuns:        s.runs.Load(),
 		LastError:           lastErr,
+		Incremental:         s.opts.Incremental,
+		WarmStart:           s.opts.WarmStart,
+		FullRebuilds:        s.fullRebuilds.Load(),
+		TailQueries:         s.tailQueries.Load(),
+		GrangerCacheHits:    s.grangerHits.Load(),
+		GrangerCacheMisses:  s.grangerMisses.Load(),
+		WarmComponents:      s.warmComponents.Load(),
+		SweptComponents:     s.sweptComponents.Load(),
+		LastRun:             lastRun,
 	})
 }
 

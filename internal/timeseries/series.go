@@ -90,6 +90,12 @@ func (r *Regular) Window(from, to int) (*Regular, error) {
 	}, nil
 }
 
+// GridBuckets returns the number of grid slots covering [start, end)
+// with the given step (the last slot may be partial).
+func GridBuckets(start, end, stepMS int64) int {
+	return int((end - start + stepMS - 1) / stepMS)
+}
+
 // Resample buckets the raw series onto a regular grid covering
 // [start, end) with the given step, averaging observations that fall into
 // the same bucket and reconstructing empty buckets with a natural cubic
@@ -106,7 +112,7 @@ func Resample(s *Series, start, end, stepMS int64) (*Regular, error) {
 	if len(s.Points) == 0 {
 		return nil, fmt.Errorf("timeseries: series %q has no points", s.Name)
 	}
-	n := int((end - start + stepMS - 1) / stepMS)
+	n := GridBuckets(start, end, stepMS)
 	sums := make([]float64, n)
 	counts := make([]int, n)
 	for _, p := range s.Points {
@@ -117,8 +123,21 @@ func Resample(s *Series, start, end, stepMS int64) (*Regular, error) {
 		sums[i] += p.V
 		counts[i]++
 	}
+	return FromBuckets(s.Name, start, stepMS, sums, counts)
+}
 
-	values := make([]float64, n)
+// FromBuckets assembles a Regular from per-bucket sums and observation
+// counts: bucket i's value is sums[i]/counts[i], empty buckets (count 0)
+// are reconstructed exactly like Resample's gap fill. It is the second
+// half of Resample, exposed so callers that maintain bucket state
+// incrementally (the online window cache) produce bit-identical grids to
+// a from-scratch Resample over the same raw points. It returns an error
+// when every bucket is empty.
+func FromBuckets(name string, start, stepMS int64, sums []float64, counts []int) (*Regular, error) {
+	if len(sums) != len(counts) {
+		return nil, fmt.Errorf("timeseries: %d sums for %d counts", len(sums), len(counts))
+	}
+	values := make([]float64, len(sums))
 	var knownX, knownY []float64
 	for i := range values {
 		if counts[i] > 0 {
@@ -130,12 +149,13 @@ func Resample(s *Series, start, end, stepMS int64) (*Regular, error) {
 		}
 	}
 	if len(knownX) == 0 {
-		return nil, fmt.Errorf("timeseries: series %q has no points inside [%d,%d)", s.Name, start, end)
+		end := start + int64(len(sums))*stepMS
+		return nil, fmt.Errorf("timeseries: series %q has no points inside [%d,%d)", name, start, end)
 	}
 	if err := fillGaps(values, knownX, knownY); err != nil {
-		return nil, fmt.Errorf("timeseries: reconstructing %q: %w", s.Name, err)
+		return nil, fmt.Errorf("timeseries: reconstructing %q: %w", name, err)
 	}
-	return &Regular{Name: s.Name, Start: start, StepMS: stepMS, Values: values}, nil
+	return &Regular{Name: name, Start: start, StepMS: stepMS, Values: values}, nil
 }
 
 // fillGaps replaces NaN slots using cubic-spline interpolation over the

@@ -317,9 +317,14 @@ type Server = server.Server
 
 // ServerOptions configures a Server: shard count, sampling grid, window
 // width, recompute cadence, analysis parallelism, optional topology —
-// and durability: DataDir enables the WAL + compressed-block storage
+// durability: DataDir enables the WAL + compressed-block storage
 // engine, Retention bounds its disk use, Fsync picks the WAL sync
-// policy ("always", "interval", "never").
+// policy ("always", "interval", "never") — and the incremental online
+// engine: Incremental carries window-cache + Granger-cache state across
+// pipeline cycles (tail-only store reads, bit-identical results),
+// WarmStart seeds clustering from the previous cycle and skips the
+// silhouette sweep while quality holds, FullRecomputeEvery periodically
+// drops all carried state as a self-heal.
 type ServerOptions = server.Options
 
 // ServerClient speaks the sieved HTTP API. It implements the store's
