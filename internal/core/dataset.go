@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/sieve-microservices/sieve/internal/app"
@@ -165,11 +166,12 @@ func CaptureContext(ctx context.Context, a *app.App, pattern loadgen.Pattern, op
 // including the sharded server store — resamples it onto the given grid,
 // and assembles a Dataset (without a call graph).
 //
-// Stores that provide the query engine (tsdb.RangeQuerier: DB, Sharded)
-// are read with ONE matcher query over the whole window instead of a
-// SeriesKeys call plus one Query round trip per series; results are
-// bit-identical, the matcher path just avoids N lock/merge cycles and
-// lets the store fan the series out across its shards.
+// Stores that provide the streaming scan (tsdb.SeriesScanner: DB,
+// Sharded) decode chunks directly into the bucket grid — no []Point or
+// SeriesResult materializes. Stores that only provide the query engine
+// (tsdb.RangeQuerier) are read with ONE matcher query over the whole
+// window instead of a SeriesKeys call plus one Query round trip per
+// series. All three paths produce bit-identical datasets.
 //
 // Online callers that assemble overlapping windows cycle after cycle
 // should use a WindowCache instead: it keeps per-series bucket state
@@ -186,7 +188,11 @@ func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) 
 		End:    end,
 		Series: map[string]map[string]*timeseries.Regular{},
 	}
-	if rq, ok := db.(tsdb.RangeQuerier); ok {
+	if sc, ok := db.(tsdb.SeriesScanner); ok && stepMS > 0 {
+		if err := datasetFromScan(ds, sc, start, end, stepMS); err != nil {
+			return nil, err
+		}
+	} else if rq, ok := db.(tsdb.RangeQuerier); ok {
 		results, err := rq.QueryMatch("*", "*", start, end)
 		if err != nil {
 			return nil, fmt.Errorf("core: matcher query over window: %w", err)
@@ -211,6 +217,51 @@ func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) 
 		return nil, errors.New("core: capture produced no series")
 	}
 	return ds, nil
+}
+
+// datasetFromScan assembles the dataset through the store's streaming
+// scan: every matched series' points decode straight into one flat
+// bucket grid (series i owns sums[i*n:(i+1)*n]), then each occupied row
+// goes through the same timeseries.FromBuckets second half Resample
+// uses. The accumulation (skip guards, += order) is statement-for-
+// statement Resample's own loop, so the assembled dataset is
+// bit-identical to the QueryMatch path — without materializing a single
+// []Point or SeriesResult. Rows are disjoint, so the store may visit
+// different series concurrently.
+func datasetFromScan(ds *Dataset, sc tsdb.SeriesScanner, start, end, stepMS int64) error {
+	n := timeseries.GridBuckets(start, end, stepMS)
+	var (
+		keys   []string
+		sums   []float64
+		counts []int
+	)
+	err := sc.ScanMatch("*", "*", start, end, func(ks []string) {
+		keys = ks
+		sums = make([]float64, len(ks)*n)
+		counts = make([]int, len(ks)*n)
+	}, func(i int, t int64, v float64) {
+		if t < start || t >= end || math.IsNaN(v) {
+			return
+		}
+		b := int((t - start) / stepMS)
+		sums[i*n+b] += v
+		counts[i*n+b]++
+	})
+	if err != nil {
+		return fmt.Errorf("core: matcher scan over window: %w", err)
+	}
+	for i, key := range keys {
+		component, metric := splitStoreKey(key)
+		reg, err := timeseries.FromBuckets(metric, start, stepMS, sums[i*n:(i+1)*n], counts[i*n:(i+1)*n])
+		if err != nil {
+			continue // no usable points in the window: skipped, not fatal
+		}
+		if ds.Series[component] == nil {
+			ds.Series[component] = map[string]*timeseries.Regular{}
+		}
+		ds.Series[component][metric] = reg
+	}
+	return nil
 }
 
 // addResampled resamples one series' raw points onto the grid and adds

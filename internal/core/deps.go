@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/sieve-microservices/sieve/internal/granger"
+	"github.com/sieve-microservices/sieve/internal/parallel"
 )
 
 // DepOptions tunes Sieve's step 3.
@@ -162,7 +163,7 @@ type pairResult struct {
 // final sort (whose comparator is tie-free over the edge fields), so the
 // graph is bit-identical to the sequential path at any worker count.
 func IdentifyDependenciesContext(ctx context.Context, ds *Dataset, red Reduction, opts DepOptions) (*DependencyGraph, error) {
-	return identifyDependencies(ctx, ds, red, opts, granger.Direction)
+	return identifyDependencies(ctx, ds, red, opts, granger.DirectionWith)
 }
 
 // IdentifyDependenciesCached is IdentifyDependenciesContext running every
@@ -175,14 +176,15 @@ func IdentifyDependenciesContext(ctx context.Context, ds *Dataset, red Reduction
 // nil cache degrades to the uncached path.
 func IdentifyDependenciesCached(ctx context.Context, ds *Dataset, red Reduction, opts DepOptions, cache *granger.Cache) (*DependencyGraph, error) {
 	if cache == nil {
-		return identifyDependencies(ctx, ds, red, opts, granger.Direction)
+		return identifyDependencies(ctx, ds, red, opts, granger.DirectionWith)
 	}
 	cache.NextGeneration()
-	return identifyDependencies(ctx, ds, red, opts, cache.Direction)
+	return identifyDependencies(ctx, ds, red, opts, cache.DirectionWith)
 }
 
-// directionFunc is granger.Direction or a cache's memoized equivalent.
-type directionFunc func(x, y []float64, opts granger.Options) (granger.Causality, *granger.TestResult, *granger.TestResult, error)
+// directionFunc is granger.DirectionWith or a cache's memoized
+// equivalent; the scratch is the executing worker's pooled buffer set.
+type directionFunc func(x, y []float64, opts granger.Options, s *granger.Scratch) (granger.Causality, *granger.TestResult, *granger.TestResult, error)
 
 func identifyDependencies(ctx context.Context, ds *Dataset, red Reduction, opts DepOptions, direction directionFunc) (*DependencyGraph, error) {
 	opts = opts.withDefaults()
@@ -194,7 +196,11 @@ func identifyDependencies(ctx context.Context, ds *Dataset, red Reduction, opts 
 
 	pairs := ds.CallGraph.CommunicatingPairs()
 	results := make([]pairResult, len(pairs))
-	err := runTasks(ctx, opts.Parallelism, len(pairs), func(ctx context.Context, i int) error {
+	// One Granger scratch per pool worker: tasks index by worker id, so
+	// buffer reuse is race-free without any locking or sync.Pool.
+	scratches := make([]granger.Scratch, parallel.Workers(opts.Parallelism))
+	err := runTasksWorker(ctx, opts.Parallelism, len(pairs), func(ctx context.Context, worker, i int) error {
+		scratch := &scratches[worker]
 		a, b := pairs[i][0], pairs[i][1]
 		ra, rb := red[a], red[b]
 		if ra == nil || rb == nil {
@@ -212,7 +218,7 @@ func identifyDependencies(ctx context.Context, ds *Dataset, red Reduction, opts 
 					continue
 				}
 				res.tested++
-				dir, xy, yx, err := direction(sa.Values, sb.Values, gopts)
+				dir, xy, yx, err := direction(sa.Values, sb.Values, gopts, scratch)
 				if err != nil {
 					// Series too short or degenerate for this pair; skip.
 					continue

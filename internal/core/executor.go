@@ -26,6 +26,13 @@ func runTasks(ctx context.Context, parallelism, n int, task func(ctx context.Con
 	return parallel.ForEach(ctx, parallelism, n, task)
 }
 
+// runTasksWorker is runTasks with the executing worker's id passed to
+// each task, for stages that thread per-worker scratch buffers through
+// the fan-out (IdentifyDependencies' pooled Granger workspace).
+func runTasksWorker(ctx context.Context, parallelism, n int, task func(ctx context.Context, worker, i int) error) error {
+	return parallel.ForEachWorker(ctx, parallelism, n, task)
+}
+
 // innerBudget sizes a pool nested inside an outer fan-out of outerTasks
 // tasks (Reduce's per-component silhouette sweeps). When the outer stage
 // already fills the budget, nested pools run sequentially — without this

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// queryOnlyStore hides the streaming scan, forcing consumers down the
+// materializing QueryMatch path for equivalence comparisons.
+type queryOnlyStore struct {
+	tsdb.ReadStore
+	tsdb.RangeQuerier
+}
+
+func scanEquivStore(t *testing.T, points int) *tsdb.DB {
+	t.Helper()
+	db := tsdb.New()
+	var samples []tsdb.Sample
+	for c := 0; c < 3; c++ {
+		for m := 0; m < 3; m++ {
+			for i := 0; i < points; i++ {
+				v := math.Cos(float64(i)/7) * float64(c+m+1)
+				if i%89 == 0 {
+					v = math.NaN()
+				}
+				samples = append(samples, tsdb.Sample{
+					Component: fmt.Sprintf("svc%d", c),
+					Metric:    fmt.Sprintf("metric%d", m),
+					T:         int64(i) * 50,
+					V:         v,
+				})
+			}
+		}
+	}
+	if err := db.WriteSamples(samples, 0); err != nil {
+		t.Fatal(err)
+	}
+	db.Flush()
+	return db
+}
+
+func requireSameDataset(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("%d components, want %d", len(got.Series), len(want.Series))
+	}
+	for comp, metrics := range want.Series {
+		if len(got.Series[comp]) != len(metrics) {
+			t.Fatalf("component %q has %d metrics, want %d", comp, len(got.Series[comp]), len(metrics))
+		}
+		for met, reg := range metrics {
+			g := got.Series[comp][met]
+			if g == nil {
+				t.Fatalf("missing series %s/%s", comp, met)
+			}
+			if g.Start != reg.Start || g.StepMS != reg.StepMS || len(g.Values) != len(reg.Values) {
+				t.Fatalf("series %s/%s grid differs: %+v vs %+v", comp, met, g, reg)
+			}
+			for i := range reg.Values {
+				if math.Float64bits(g.Values[i]) != math.Float64bits(reg.Values[i]) {
+					t.Fatalf("series %s/%s value %d = %v, want %v (must be bit-identical)",
+						comp, met, i, g.Values[i], reg.Values[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScanMatchRebuildMatchesQueryMatch pins the streaming decode paths
+// bit-for-bit against the materializing ones: a WindowCache full rebuild
+// and a DatasetFromDB assembly through ScanMatch must equal the same
+// operations through QueryMatch, including incremental tail advances.
+func TestScanMatchRebuildMatchesQueryMatch(t *testing.T) {
+	const stepMS, points = 500, 700
+	db := scanEquivStore(t, points)
+	qo := queryOnlyStore{ReadStore: db, RangeQuerier: db}
+	windowEnd := int64(points) * 50
+	start, mid := int64(0), windowEnd-10*stepMS
+
+	// Full-window dataset assembly.
+	wantDS, err := DatasetFromDB(qo, "app", stepMS, start, windowEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDS, err := DatasetFromDB(db, "app", stepMS, start, windowEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDataset(t, gotDS, wantDS)
+
+	// WindowCache: full rebuild, then an incremental tail advance, both
+	// compared against the query-only cache at every step.
+	scanCache := NewWindowCache("app", stepMS)
+	queryCache := NewWindowCache("app", stepMS)
+
+	width := mid - start
+	gotWin, gotStats, err := scanCache.Advance(db, start, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWin, wantStats, err := queryCache.Advance(qo, start, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotStats.FullRebuild || !wantStats.FullRebuild {
+		t.Fatalf("first advance was not a full rebuild: %+v vs %+v", gotStats, wantStats)
+	}
+	requireSameDataset(t, gotWin, wantWin)
+
+	for slide := int64(1); slide <= 4; slide++ {
+		s := start + slide*2*stepMS
+		gotWin, gotStats, err = scanCache.Advance(db, s, s+width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantWin, wantStats, err = queryCache.Advance(qo, s, s+width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStats.FullRebuild || wantStats.FullRebuild {
+			t.Fatalf("slide %d fell back to a full rebuild: %+v vs %+v", slide, gotStats, wantStats)
+		}
+		if gotStats.SeriesBorn != wantStats.SeriesBorn || gotStats.SeriesDied != wantStats.SeriesDied ||
+			gotStats.CachedSeries != wantStats.CachedSeries {
+			t.Fatalf("slide %d stats diverged: %+v vs %+v", slide, gotStats, wantStats)
+		}
+		requireSameDataset(t, gotWin, wantWin)
+	}
+}
+
+// TestScanMatchRebuildAllocs pins the streaming full rebuild at zero
+// per-point allocations: packing 8x the points into the SAME window on
+// the SAME grid (denser sampling) must not change the rebuild's
+// allocation count beyond noise — every per-rebuild allocation is per
+// series or per grid bucket, never per decoded point.
+func TestScanMatchRebuildAllocs(t *testing.T) {
+	const stepMS, windowMS = 500, 30_000
+	build := func(density int) *tsdb.DB {
+		db := tsdb.New()
+		var samples []tsdb.Sample
+		points := int(windowMS) / 50 * density
+		for c := 0; c < 3; c++ {
+			for m := 0; m < 3; m++ {
+				for i := 0; i < points; i++ {
+					samples = append(samples, tsdb.Sample{
+						Component: fmt.Sprintf("svc%d", c),
+						Metric:    fmt.Sprintf("metric%d", m),
+						T:         int64(i) * 50 / int64(density),
+						V:         math.Cos(float64(i) / 7),
+					})
+				}
+			}
+		}
+		if err := db.WriteSamples(samples, 0); err != nil {
+			t.Fatal(err)
+		}
+		db.Flush()
+		return db
+	}
+	measure := func(db *tsdb.DB) float64 {
+		c := NewWindowCache("app", stepMS)
+		if _, _, err := c.Advance(db, 0, windowMS); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			c.Invalidate()
+			if _, _, err := c.Advance(db, 0, windowMS); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a1 := measure(build(1))
+	a2 := measure(build(8))
+	if a2 > a1+8 {
+		t.Fatalf("streaming rebuild allocations grew with point count: %v -> %v allocs/op", a1, a2)
+	}
+}

@@ -130,25 +130,33 @@ func (c *WindowCache) Advance(db tsdb.ReadStore, start, end int64) (*Dataset, Ad
 		// steps and the width is unchanged), so every tail point lands in
 		// one of the d freshly-zeroed slots — or tops up the last partial
 		// bucket — in the same store order a full-window query would have
-		// delivered it.
+		// delivered it. Stores with a streaming scan decode straight into
+		// the rings; others materialize the tail once through QueryMatch.
 		st.TailQueries = 1
-		results, err := rq.QueryMatch("*", "*", c.end, end)
-		if err != nil {
-			c.Invalidate()
-			return nil, st, fmt.Errorf("core: matcher query over tail: %w", err)
-		}
-		for _, res := range results {
-			key := res.Component + "/" + res.Metric
-			r := c.series[key]
-			if r == nil {
-				// Born: first points ever inside the window. Everything
-				// this series has in [start, c.end) would already be
-				// cached if it existed there, so an empty head is exact.
-				r = newSeriesRing(res.Component, res.Metric, c.buckets)
-				c.series[key] = r
-				st.SeriesBorn++
+		if sc, ok := rq.(tsdb.SeriesScanner); ok {
+			if err := c.scanTail(sc, start, end, &st); err != nil {
+				c.Invalidate()
+				return nil, st, fmt.Errorf("core: matcher scan over tail: %w", err)
 			}
-			r.add(res.Points, start, c.stepMS)
+		} else {
+			results, err := rq.QueryMatch("*", "*", c.end, end)
+			if err != nil {
+				c.Invalidate()
+				return nil, st, fmt.Errorf("core: matcher query over tail: %w", err)
+			}
+			for _, res := range results {
+				key := res.Component + "/" + res.Metric
+				r := c.series[key]
+				if r == nil {
+					// Born: first points ever inside the window. Everything
+					// this series has in [start, c.end) would already be
+					// cached if it existed there, so an empty head is exact.
+					r = newSeriesRing(res.Component, res.Metric, c.buckets)
+					c.series[key] = r
+					st.SeriesBorn++
+				}
+				r.add(res.Points, start, c.stepMS)
+			}
 		}
 		// Death: every cached point expired and nothing arrived.
 		for key, r := range c.series {
@@ -186,24 +194,33 @@ func (c *WindowCache) rollable(start, end int64) string {
 	return ""
 }
 
-// rebuild queries the whole window once and repopulates the rings.
+// rebuild reads the whole window once and repopulates the rings. Stores
+// with a streaming scan (both local tsdb stores) decode chunks directly
+// into the rings — no []Point or SeriesResult materializes between the
+// store and the bucket state; others fall back to one QueryMatch.
 func (c *WindowCache) rebuild(rq tsdb.RangeQuerier, start, end int64) (*Dataset, error) {
 	c.valid = false
 	c.start, c.end = start, end
 	c.buckets = timeseries.GridBuckets(start, end, c.stepMS)
 	c.series = map[string]*seriesRing{}
 
-	results, err := rq.QueryMatch("*", "*", start, end)
-	if err != nil {
-		return nil, fmt.Errorf("core: matcher query over window: %w", err)
-	}
-	for _, res := range results {
-		r := newSeriesRing(res.Component, res.Metric, c.buckets)
-		r.add(res.Points, start, c.stepMS)
-		if r.empty() {
-			continue // every point was NaN: batch assembly skips it too
+	if sc, ok := rq.(tsdb.SeriesScanner); ok {
+		if err := c.rebuildScan(sc, start, end); err != nil {
+			return nil, err
 		}
-		c.series[res.Component+"/"+res.Metric] = r
+	} else {
+		results, err := rq.QueryMatch("*", "*", start, end)
+		if err != nil {
+			return nil, fmt.Errorf("core: matcher query over window: %w", err)
+		}
+		for _, res := range results {
+			r := newSeriesRing(res.Component, res.Metric, c.buckets)
+			r.add(res.Points, start, c.stepMS)
+			if r.empty() {
+				continue // every point was NaN: batch assembly skips it too
+			}
+			c.series[res.Component+"/"+res.Metric] = r
+		}
 	}
 	ds, err := c.assemble()
 	if err != nil {
@@ -211,6 +228,86 @@ func (c *WindowCache) rebuild(rq tsdb.RangeQuerier, start, end int64) (*Dataset,
 	}
 	c.valid = true
 	return ds, nil
+}
+
+// rebuildScan streams the whole window straight into freshly-created
+// rings. Rings are created lazily on a series' first streamed point —
+// different series may be visited concurrently, but slot i is written
+// only by series i's (single) visiting goroutine, so the lazy creation
+// is race-free. Accumulation order within a ring equals the QueryMatch
+// path's: one series' points arrive in the same canonical storage order
+// the raw query stably sorts, so the assembled buckets are bit-identical
+// under the cache's append-mostly contract.
+func (c *WindowCache) rebuildScan(sc tsdb.SeriesScanner, start, end int64) error {
+	var (
+		keys  []string
+		rings []*seriesRing
+	)
+	err := sc.ScanMatch("*", "*", start, end, func(ks []string) {
+		keys = ks
+		rings = make([]*seriesRing, len(ks))
+	}, func(i int, t int64, v float64) {
+		r := rings[i]
+		if r == nil {
+			comp, met := splitStoreKey(keys[i])
+			r = newSeriesRing(comp, met, c.buckets)
+			rings[i] = r
+		}
+		r.addPoint(t, v, start, c.stepMS)
+	})
+	if err != nil {
+		return fmt.Errorf("core: matcher scan over window: %w", err)
+	}
+	for _, r := range rings {
+		if r == nil || r.empty() {
+			continue // no points, or every point was NaN: batch skips it too
+		}
+		c.series[r.component+"/"+r.metric] = r
+	}
+	return nil
+}
+
+// scanTail streams the tail range [c.end, end) into the existing rings,
+// creating rings for newborn series exactly as the QueryMatch tail path
+// does. Tail timestamps all sit at or past c.end > start, so no point
+// can land behind the cached frontier.
+func (c *WindowCache) scanTail(sc tsdb.SeriesScanner, start, end int64, st *AdvanceStats) error {
+	var (
+		keys  []string
+		rings []*seriesRing
+		born  []bool
+	)
+	err := sc.ScanMatch("*", "*", c.end, end, func(ks []string) {
+		keys = ks
+		rings = make([]*seriesRing, len(ks))
+		born = make([]bool, len(ks))
+		for i, k := range ks {
+			comp, met := splitStoreKey(k)
+			rings[i] = c.series[comp+"/"+met]
+		}
+	}, func(i int, t int64, v float64) {
+		r := rings[i]
+		if r == nil {
+			// Born: first points ever inside the window. Everything this
+			// series has in [start, c.end) would already be cached if it
+			// existed there, so an empty head is exact.
+			comp, met := splitStoreKey(keys[i])
+			r = newSeriesRing(comp, met, c.buckets)
+			rings[i] = r
+			born[i] = true
+		}
+		r.addPoint(t, v, start, c.stepMS)
+	})
+	if err != nil {
+		return err
+	}
+	for i, b := range born {
+		if b {
+			c.series[rings[i].component+"/"+rings[i].metric] = rings[i]
+			st.SeriesBorn++
+		}
+	}
+	return nil
 }
 
 // assemble builds the Dataset for the current window from the rings. The
@@ -266,25 +363,30 @@ func (r *seriesRing) roll(d int) {
 	r.head = (r.head + d) % n
 }
 
-// add buckets raw points into the ring, mirroring Resample's accumulation
-// exactly (NaN and out-of-window points skipped, sum += in delivery
-// order). The p.T < start guard must precede the index computation:
-// truncation-toward-zero division would otherwise map (start-stepMS,
-// start) onto bucket 0.
+// add buckets raw points into the ring in delivery order.
 func (r *seriesRing) add(pts []tsdb.Point, start, stepMS int64) {
-	n := len(r.sums)
 	for _, p := range pts {
-		if p.T < start || math.IsNaN(p.V) {
-			continue
-		}
-		i := int((p.T - start) / stepMS)
-		if i >= n {
-			continue
-		}
-		slot := (r.head + i) % n
-		r.sums[slot] += p.V
-		r.counts[slot]++
+		r.addPoint(p.T, p.V, start, stepMS)
 	}
+}
+
+// addPoint buckets one raw point into the ring, mirroring Resample's
+// accumulation exactly (NaN and out-of-window points skipped, sum += in
+// delivery order). The t < start guard must precede the index
+// computation: truncation-toward-zero division would otherwise map
+// (start-stepMS, start) onto bucket 0.
+func (r *seriesRing) addPoint(t int64, v float64, start, stepMS int64) {
+	if t < start || math.IsNaN(v) {
+		return
+	}
+	i := int((t - start) / stepMS)
+	n := len(r.sums)
+	if i >= n {
+		return
+	}
+	slot := (r.head + i) % n
+	r.sums[slot] += v
+	r.counts[slot]++
 }
 
 // empty reports whether no bucket holds an observation.
@@ -336,4 +438,15 @@ func seriesKeyParts(key string) (component, metric string, ok bool) {
 		return "", "", false
 	}
 	return key[:slash], key[slash+1:], true
+}
+
+// splitStoreKey splits a series key the way the tsdb query engine does:
+// at the first slash, or (component, "") when there is none — so keys
+// streamed by ScanMatch resolve to the same component/metric pair
+// QueryMatch results carry.
+func splitStoreKey(key string) (component, metric string) {
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
 }

@@ -86,6 +86,15 @@ func NewCache() *Cache {
 // use; two goroutines racing on the same missing key both compute the
 // identical result and one insert wins.
 func (c *Cache) Direction(x, y []float64, opts Options) (Causality, *TestResult, *TestResult, error) {
+	var s Scratch
+	return c.DirectionWith(x, y, opts, &s)
+}
+
+// DirectionWith is Direction with caller-owned scratch used on misses.
+// Stored results are scalar-only TestResults that never alias the
+// scratch, so a hit returned to one caller stays valid while another
+// caller's scratch is reused.
+func (c *Cache) DirectionWith(x, y []float64, opts Options, s *Scratch) (Causality, *TestResult, *TestResult, error) {
 	eff := opts.withDefaults()
 	key := cacheKey{
 		fx: Fingerprint(x), fy: Fingerprint(y),
@@ -104,7 +113,7 @@ func (c *Cache) Direction(x, y []float64, opts Options) (Causality, *TestResult,
 	gen := c.gen
 	c.mu.Unlock()
 
-	dir, xy, yx, err := Direction(x, y, opts)
+	dir, xy, yx, err := DirectionWith(x, y, opts, s)
 	c.mu.Lock()
 	c.entries[key] = &cacheEntry{dir: dir, xy: xy, yx: yx, err: err, gen: gen}
 	c.mu.Unlock()

@@ -5,9 +5,24 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/sieve-microservices/sieve/internal/mathx"
 	"github.com/sieve-microservices/sieve/internal/stats"
 	"github.com/sieve-microservices/sieve/internal/timeseries"
 )
+
+// Scratch pools one worker's Granger buffers: the two reusable flat lag
+// designs plus the shared regression workspace (QR factorizations,
+// normal-equation solves, ADF design) that every fit in a Test run
+// cycles through. The zero value is ready to use. A Scratch must not be
+// shared between concurrent goroutines — the dependency-extraction
+// fan-out keeps one per worker, indexed by the pool's worker id. Returned
+// TestResults never alias the scratch (they are scalar-only), so cached
+// results stay valid however the scratch is reused afterwards.
+type Scratch struct {
+	stats      stats.Scratch
+	restricted mathx.Matrix
+	unrestrict mathx.Matrix
+}
 
 // DefaultAlpha is the significance level for rejecting the null
 // hypothesis "X does not Granger-cause Y".
@@ -75,6 +90,15 @@ type TestResult struct {
 // length; constants and too-short series yield a non-significant result
 // rather than an error when they cannot carry causal signal.
 func Test(x, y []float64, opts Options) (*TestResult, error) {
+	var s Scratch
+	return TestWith(x, y, opts, &s)
+}
+
+// TestWith is Test with caller-owned scratch: lag designs and regression
+// workspace come from s, so a steady-state test performs O(1) small
+// allocations per pair instead of O(lags·rows). Results are bit-identical
+// to Test.
+func TestWith(x, y []float64, opts Options, s *Scratch) (*TestResult, error) {
 	opts = opts.withDefaults()
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("granger: length mismatch %d vs %d", len(x), len(y))
@@ -88,7 +112,7 @@ func Test(x, y []float64, opts Options) (*TestResult, error) {
 	}
 
 	if !opts.SkipStationarity {
-		x, y, res.DifferencedX, res.DifferencedY = makeStationaryPair(x, y, opts.ADFLags)
+		x, y, res.DifferencedX, res.DifferencedY = makeStationaryPair(x, y, opts.ADFLags, s)
 		if timeseries.IsConstant(x) || timeseries.IsConstant(y) {
 			return res, nil
 		}
@@ -111,7 +135,7 @@ func Test(x, y []float64, opts Options) (*TestResult, error) {
 		if lag > ownLags {
 			ownLags = lag
 		}
-		f, p, err := testAtLag(x, y, lag, ownLags)
+		f, p, err := testAtLag(x, y, lag, ownLags, s)
 		if err != nil {
 			// Degenerate designs at this lag (e.g. near-collinear
 			// histories) are skipped, not fatal: other lags may work.
@@ -131,36 +155,39 @@ func Test(x, y []float64, opts Options) (*TestResult, error) {
 	return best, nil
 }
 
+// lagDesign writes the intercept-plus-lags design directly into the flat
+// reusable matrix dst: column 0 is the constant 1, columns 1..ownLags are
+// y shifted by 1..ownLags samples, and columns ownLags+1..ownLags+crossLag
+// are x shifted by 1..crossLag (crossLag 0 gives the restricted model).
+// Cell values match what DesignWithIntercept built from intermediate
+// [][]float64 lag columns, without materializing them.
+func lagDesign(dst *mathx.Matrix, x, y []float64, crossLag, ownLags int) *mathx.Matrix {
+	rows := len(y) - ownLags
+	dst.Resize(rows, 1+ownLags+crossLag)
+	for r := 0; r < rows; r++ {
+		dst.Set(r, 0, 1)
+		for i := 1; i <= ownLags; i++ {
+			dst.Set(r, i, y[ownLags-i+r])
+		}
+		for i := 1; i <= crossLag; i++ {
+			dst.Set(r, ownLags+i, x[ownLags-i+r])
+		}
+	}
+	return dst
+}
+
 // testAtLag runs the nested F-test with crossLag lags of x added to
-// ownLags autoregressive lags of y (ownLags >= crossLag).
-func testAtLag(x, y []float64, crossLag, ownLags int) (f, p float64, err error) {
-	n := len(y)
+// ownLags autoregressive lags of y (ownLags >= crossLag). The F-test
+// consumes only the fits' RSS/P/N scalars, so both regressions can share
+// the scratch sequentially.
+func testAtLag(x, y []float64, crossLag, ownLags int, s *Scratch) (f, p float64, err error) {
 	resp := y[ownLags:]
 
-	// Lag column i holds the series shifted by i samples, aligned with resp.
-	yLags := make([][]float64, ownLags)
-	for i := 1; i <= ownLags; i++ {
-		yLags[i-1] = y[ownLags-i : n-i]
-	}
-	xLags := make([][]float64, crossLag)
-	for i := 1; i <= crossLag; i++ {
-		xLags[i-1] = x[ownLags-i : n-i]
-	}
-
-	restrictedDesign, err := stats.DesignWithIntercept(yLags...)
+	restricted, err := stats.FitOLSWith(resp, lagDesign(&s.restricted, x, y, 0, ownLags), &s.stats)
 	if err != nil {
 		return 0, 0, err
 	}
-	restricted, err := stats.FitOLS(resp, restrictedDesign)
-	if err != nil {
-		return 0, 0, err
-	}
-
-	unrestrictedDesign, err := stats.DesignWithIntercept(append(append([][]float64{}, yLags...), xLags...)...)
-	if err != nil {
-		return 0, 0, err
-	}
-	unrestricted, err := stats.FitOLS(resp, unrestrictedDesign)
+	unrestricted, err := stats.FitOLSWith(resp, lagDesign(&s.unrestrict, x, y, crossLag, ownLags), &s.stats)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -175,9 +202,9 @@ func testAtLag(x, y []float64, crossLag, ownLags int) (f, p float64, err error) 
 // makeStationaryPair differences whichever series fails the ADF test and
 // trims the other so both stay aligned on the same time base (differencing
 // drops the first sample).
-func makeStationaryPair(x, y []float64, adfLags int) (outX, outY []float64, dx, dy bool) {
-	outX, dx = stats.EnsureStationary(x, adfLags)
-	outY, dy = stats.EnsureStationary(y, adfLags)
+func makeStationaryPair(x, y []float64, adfLags int, s *Scratch) (outX, outY []float64, dx, dy bool) {
+	outX, dx = stats.EnsureStationaryWith(x, adfLags, &s.stats)
+	outY, dy = stats.EnsureStationaryWith(y, adfLags, &s.stats)
 	switch {
 	case dx && !dy:
 		outY = y[1:]
@@ -222,11 +249,18 @@ func (c Causality) String() string {
 // Direction runs the test in both directions and classifies the result.
 // It returns the per-direction test results alongside the classification.
 func Direction(x, y []float64, opts Options) (Causality, *TestResult, *TestResult, error) {
-	xy, err := Test(x, y, opts)
+	var s Scratch
+	return DirectionWith(x, y, opts, &s)
+}
+
+// DirectionWith is Direction with caller-owned scratch shared by both
+// directed tests.
+func DirectionWith(x, y []float64, opts Options, s *Scratch) (Causality, *TestResult, *TestResult, error) {
+	xy, err := TestWith(x, y, opts, s)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("granger: x->y: %w", err)
 	}
-	yx, err := Test(y, x, opts)
+	yx, err := TestWith(y, x, opts, s)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("granger: y->x: %w", err)
 	}

@@ -60,51 +60,23 @@ func (r *Result) Members(c int) []int {
 	return out
 }
 
-// Cluster runs k-Shape over the given series (all must share one length
-// >= 2). Series are z-normalized internally, matching the algorithm's
-// amplitude invariance. The run is deterministic for a fixed Options.
-func Cluster(series [][]float64, opts Options) (*Result, error) {
-	if opts.Restarts > 1 && opts.InitialAssignments == nil {
-		var best *Result
-		bestCost := math.Inf(1)
-		for r := 0; r < opts.Restarts; r++ {
-			run := opts
-			run.Restarts = 0
-			run.Seed = opts.Seed + int64(r)
-			res, err := clusterOnce(series, run)
-			if err != nil {
-				return nil, err
-			}
-			if cost := res.totalWithinSBD(series); cost < bestCost {
-				bestCost, best = cost, res
-			}
-		}
-		return best, nil
-	}
-	return clusterOnce(series, opts)
+// prepared is a component's batched clustering input: the z-normalized
+// series and their cached spectra, computed once and shared read-only by
+// every restart — and, in the silhouette sweep, by every candidate k and
+// the distance matrix. This turns the O(pairs · restarts · k-values)
+// transforms of the naive path into O(series).
+type prepared struct {
+	norm     [][]float64
+	profiles []*sbdProfile
 }
 
-// totalWithinSBD sums each series' distance to its assigned centroid, the
-// objective used to compare restarts.
-func (r *Result) totalWithinSBD(series [][]float64) float64 {
-	var total float64
-	for i, a := range r.Assignments {
-		d, _ := SBD(r.Centroids[a], timeseries.ZNormalize(series[i]))
-		total += d
-	}
-	return total
-}
-
-func clusterOnce(series [][]float64, opts Options) (*Result, error) {
+// prepare validates the series set and computes its normalized forms and
+// spectra. The validation order and messages match the historical
+// clusterOnce prologue.
+func prepare(series [][]float64) (*prepared, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, errors.New("kshape: no series to cluster")
-	}
-	if opts.K < 1 {
-		return nil, fmt.Errorf("kshape: invalid K=%d", opts.K)
-	}
-	if opts.K > n {
-		return nil, fmt.Errorf("kshape: K=%d exceeds %d series", opts.K, n)
 	}
 	sLen := len(series[0])
 	if sLen < 2 {
@@ -118,27 +90,89 @@ func clusterOnce(series [][]float64, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("kshape: series %d contains NaN", i)
 		}
 	}
+	p := &prepared{
+		norm:     make([][]float64, n),
+		profiles: make([]*sbdProfile, n),
+	}
+	for i, s := range series {
+		p.norm[i] = timeseries.ZNormalize(s)
+		p.profiles[i] = newSBDProfile(p.norm[i])
+	}
+	return p, nil
+}
+
+// Cluster runs k-Shape over the given series (all must share one length
+// >= 2). Series are z-normalized internally, matching the algorithm's
+// amplitude invariance. The run is deterministic for a fixed Options.
+func Cluster(series [][]float64, opts Options) (*Result, error) {
+	p, err := prepare(series)
+	if err != nil {
+		return nil, err
+	}
+	var s Scratch
+	res, _, err := clusterPrepared(p, opts, &s)
+	return res, err
+}
+
+// clusterPrepared runs Cluster's restart logic over pre-computed spectra
+// with caller-owned scratch, returning the winning run and its final
+// centroid profiles (consistent with Result.Centroids).
+func clusterPrepared(p *prepared, opts Options, s *Scratch) (*Result, []*sbdProfile, error) {
+	if opts.Restarts > 1 && opts.InitialAssignments == nil {
+		var best *Result
+		var bestProfiles []*sbdProfile
+		bestCost := math.Inf(1)
+		for r := 0; r < opts.Restarts; r++ {
+			run := opts
+			run.Restarts = 0
+			run.Seed = opts.Seed + int64(r)
+			res, centProfiles, err := clusterOnce(p, run, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			if cost := totalWithin(res, centProfiles, p, s); cost < bestCost {
+				bestCost, best, bestProfiles = cost, res, centProfiles
+			}
+		}
+		return best, bestProfiles, nil
+	}
+	return clusterOnce(p, opts, s)
+}
+
+// totalWithin sums each series' distance to its assigned centroid, the
+// objective used to compare restarts — computed over cached spectra,
+// bit-identical to SBD(centroid, normalized series) per member.
+func totalWithin(r *Result, centProfiles []*sbdProfile, p *prepared, s *Scratch) float64 {
+	var total float64
+	for i, a := range r.Assignments {
+		total += centProfiles[a].dist(p.profiles[i], s)
+	}
+	return total
+}
+
+func clusterOnce(p *prepared, opts Options, s *Scratch) (*Result, []*sbdProfile, error) {
+	n := len(p.norm)
+	if opts.K < 1 {
+		return nil, nil, fmt.Errorf("kshape: invalid K=%d", opts.K)
+	}
+	if opts.K > n {
+		return nil, nil, fmt.Errorf("kshape: K=%d exceeds %d series", opts.K, n)
+	}
+	sLen := len(p.norm[0])
 	maxIter := opts.MaxIterations
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
-	}
-
-	norm := make([][]float64, n)
-	profiles := make([]*sbdProfile, n)
-	for i, s := range series {
-		norm[i] = timeseries.ZNormalize(s)
-		profiles[i] = newSBDProfile(norm[i])
 	}
 
 	assign := make([]int, n)
 	switch {
 	case opts.InitialAssignments != nil:
 		if len(opts.InitialAssignments) != n {
-			return nil, fmt.Errorf("kshape: %d initial assignments for %d series", len(opts.InitialAssignments), n)
+			return nil, nil, fmt.Errorf("kshape: %d initial assignments for %d series", len(opts.InitialAssignments), n)
 		}
 		for i, a := range opts.InitialAssignments {
 			if a < 0 || a >= opts.K {
-				return nil, fmt.Errorf("kshape: initial assignment %d out of range [0,%d)", a, opts.K)
+				return nil, nil, fmt.Errorf("kshape: initial assignment %d out of range [0,%d)", a, opts.K)
 			}
 			assign[i] = a
 		}
@@ -154,34 +188,35 @@ func clusterOnce(series [][]float64, opts Options) (*Result, error) {
 		centroids[c] = make([]float64, sLen)
 	}
 
+	centProfiles := make([]*sbdProfile, opts.K)
 	iterations := 0
 	for iter := 0; iter < maxIter; iter++ {
 		iterations = iter + 1
 
 		// Refinement: re-extract each cluster's centroid.
 		for c := 0; c < opts.K; c++ {
-			var members [][]float64
-			var memberProfiles []*sbdProfile
+			members := s.members[:0]
+			memberProfiles := s.memberProfiles[:0]
 			for i, a := range assign {
 				if a == c {
-					members = append(members, norm[i])
-					memberProfiles = append(memberProfiles, profiles[i])
+					members = append(members, p.norm[i])
+					memberProfiles = append(memberProfiles, p.profiles[i])
 				}
 			}
-			centroids[c] = shapeExtraction(members, memberProfiles, centroids[c])
+			s.members, s.memberProfiles = members, memberProfiles
+			centroids[c] = shapeExtraction(members, memberProfiles, centroids[c], s)
 		}
 
 		// Assignment: move every series to its closest centroid. Member
 		// FFTs are cached, so each distance costs one spectrum product.
-		centProfiles := make([]*sbdProfile, opts.K)
 		for c := range centProfiles {
 			centProfiles[c] = newSBDProfile(centroids[c])
 		}
 		changed := false
-		for i := range norm {
+		for i := range p.norm {
 			best, bestC := 2.1, assign[i] // SBD is bounded by 2
 			for c := 0; c < opts.K; c++ {
-				d := centProfiles[c].dist(profiles[i])
+				d := centProfiles[c].dist(p.profiles[i], s)
 				if d < best {
 					best, bestC = d, c
 				}
@@ -203,7 +238,7 @@ func clusterOnce(series [][]float64, opts Options) (*Result, error) {
 				if countOf(assign, a) <= 1 {
 					continue // do not empty another cluster
 				}
-				d := centProfiles[a].dist(profiles[i])
+				d := centProfiles[a].dist(p.profiles[i], s)
 				if d > worstD {
 					worstD, worstI = d, i
 				}
@@ -224,15 +259,18 @@ func clusterOnce(series [][]float64, opts Options) (*Result, error) {
 		Assignments: assign,
 		Centroids:   centroids,
 		Iterations:  iterations,
-	}, nil
+	}, centProfiles, nil
 }
 
 // shapeExtraction computes a cluster's new centroid: members are aligned
 // to the current centroid, and the new centroid is the dominant
 // eigenvector of Q·AᵀA·Q (A = aligned member rows, Q = centering matrix),
 // which maximizes the summed squared cross-correlation to all members.
-// The result is z-normalized and sign-fixed against the reference.
-func shapeExtraction(members [][]float64, memberProfiles []*sbdProfile, reference []float64) []float64 {
+// The result is z-normalized and sign-fixed against the reference. All
+// intermediates (aligned rows, centering buffers, power-iteration
+// vectors) come from the scratch; only the returned centroid is a fresh
+// slice.
+func shapeExtraction(members [][]float64, memberProfiles []*sbdProfile, reference []float64, s *Scratch) []float64 {
 	sLen := len(reference)
 	if len(members) == 0 {
 		return make([]float64, sLen)
@@ -243,26 +281,37 @@ func shapeExtraction(members [][]float64, memberProfiles []*sbdProfile, referenc
 	if !refIsZero {
 		refProfile = newSBDProfile(reference)
 	}
-	aligned := make([][]float64, len(members))
+	aligned := s.aligned(len(members), sLen)
 	for i, m := range members {
 		if refIsZero {
-			aligned[i] = m
+			copy(aligned[i], m)
 			continue
 		}
-		_, shift := refProfile.distShift(memberProfiles[i])
-		aligned[i] = Align(m, shift)
+		_, shift := refProfile.distShift(memberProfiles[i], s)
+		alignInto(aligned[i], m, shift)
 	}
+
+	if cap(s.centered) < sLen {
+		s.centered = make([]float64, sLen)
+	}
+	centered := s.centered[:sLen]
+	if cap(s.tmp) < len(aligned) {
+		s.tmp = make([]float64, len(aligned))
+	}
+	tmp := s.tmp[:len(aligned)]
 
 	// Implicit operator v -> Q AᵀA Q v, where Qv = v - mean(v).
 	apply := func(dst, src []float64) {
-		centered := center(src)
-		tmp := make([]float64, len(aligned))
+		m := timeseries.Mean(src)
+		for j, x := range src {
+			centered[j] = x - m
+		}
 		for i, row := range aligned {
-			var s float64
+			var sum float64
 			for j, v := range row {
-				s += v * centered[j]
+				sum += v * centered[j]
 			}
-			tmp[i] = s
+			tmp[i] = sum
 		}
 		for j := range dst {
 			dst[j] = 0
@@ -276,10 +325,12 @@ func shapeExtraction(members [][]float64, memberProfiles []*sbdProfile, referenc
 				dst[j] += w * v
 			}
 		}
-		out := center(dst)
-		copy(dst, out)
+		m = timeseries.Mean(dst)
+		for j := range dst {
+			dst[j] -= m
+		}
 	}
-	vec, _ := mathx.DominantEigen(sLen, apply, 100, 1e-9)
+	vec, _ := mathx.DominantEigenWith(sLen, apply, 100, 1e-9, &s.eigen)
 	vec = timeseries.ZNormalize(vec)
 
 	// Eigenvectors are sign-ambiguous; pick the orientation that better
@@ -299,15 +350,6 @@ func shapeExtraction(members [][]float64, memberProfiles []*sbdProfile, referenc
 		}
 	}
 	return vec
-}
-
-func center(v []float64) []float64 {
-	out := make([]float64, len(v))
-	m := timeseries.Mean(v)
-	for i, x := range v {
-		out[i] = x - m
-	}
-	return out
 }
 
 func countOf(assign []int, c int) int {

@@ -67,20 +67,81 @@ func SBD(x, y []float64) (dist float64, shift int) {
 // with the reference series: the result r satisfies r[t] = y[t-shift],
 // zero-padded where the shift runs past the ends.
 func Align(y []float64, shift int) []float64 {
+	return alignInto(make([]float64, len(y)), y, shift)
+}
+
+// alignInto is Align writing into dst (len(dst) == len(y)), including the
+// zero padding, so callers can reuse one flat backing buffer.
+func alignInto(dst, y []float64, shift int) []float64 {
 	n := len(y)
-	out := make([]float64, n)
 	for t := 0; t < n; t++ {
 		src := t - shift
 		if src >= 0 && src < n {
-			out[t] = y[src]
+			dst[t] = y[src]
+		} else {
+			dst[t] = 0
 		}
+	}
+	return dst
+}
+
+// Scratch pools one goroutine's SBD and clustering buffers: the spectrum
+// product and inverse-transform slices behind every cached-spectrum
+// distance, plus the centroid-extraction workspace. The zero value is
+// ready to use. A Scratch must not be shared between concurrent
+// goroutines — fan-outs (the silhouette sweep, the pipeline executor)
+// keep one per worker, indexed by parallel.ForEachWorker's worker id.
+type Scratch struct {
+	prod []complex128
+	inv  []float64
+
+	// Centroid-extraction workspace (shape extraction + power iteration).
+	eigen          mathx.EigenScratch
+	centered       []float64
+	tmp            []float64
+	alignedFlat    []float64
+	alignedRows    [][]float64
+	members        [][]float64
+	memberProfiles []*sbdProfile
+}
+
+func (s *Scratch) prodBuf(m int) []complex128 {
+	if cap(s.prod) < m {
+		s.prod = make([]complex128, m)
+	}
+	return s.prod[:m]
+}
+
+func (s *Scratch) invBuf(m int) []float64 {
+	if cap(s.inv) < m {
+		s.inv = make([]float64, m)
+	}
+	return s.inv[:m]
+}
+
+// aligned returns a rows-by-cols matrix of reused row slices backed by one
+// flat buffer; contents are unspecified.
+func (s *Scratch) aligned(rows, cols int) [][]float64 {
+	if cap(s.alignedFlat) < rows*cols {
+		s.alignedFlat = make([]float64, rows*cols)
+	}
+	flat := s.alignedFlat[:rows*cols]
+	if cap(s.alignedRows) < rows {
+		s.alignedRows = make([][]float64, rows)
+	}
+	out := s.alignedRows[:rows]
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols]
 	}
 	return out
 }
 
-// sbdProfile is a cached FFT of a series used to batch pairwise SBD
-// computations: the cross-correlation of any pair is one spectrum product
-// plus one inverse FFT.
+// sbdProfile is a series' cached real-FFT spectrum used to batch pairwise
+// SBD computations: the cross-correlation of any pair is one spectrum
+// product plus one inverse real FFT. A profile depends only on its own
+// series (spectra are never packed pairwise), so distances over cached
+// profiles are bit-identical to SBD on the raw series. Profiles are
+// immutable after creation and safe to share across goroutines.
 type sbdProfile struct {
 	spectrum []complex128
 	norm     float64
@@ -92,22 +153,22 @@ func newSBDProfile(x []float64) *sbdProfile {
 	n := len(x)
 	m := mathx.NextPow2(2*n - 1)
 	buf := make([]complex128, m)
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
-	mathx.FFT(buf)
+	mathx.RealFFT(buf, x, m)
 	return &sbdProfile{spectrum: buf, norm: l2(x), n: n, padded: m}
 }
 
 // dist computes SBD between the two profiled series (lengths must match).
-func (p *sbdProfile) dist(q *sbdProfile) float64 {
-	d, _ := p.distShift(q)
+func (p *sbdProfile) dist(q *sbdProfile, s *Scratch) float64 {
+	d, _ := p.distShift(q, s)
 	return d
 }
 
 // distShift computes SBD and the aligning shift, matching SBD(p, q): the
-// shift passed to Align(q, shift) lines q up with p.
-func (p *sbdProfile) distShift(q *sbdProfile) (float64, int) {
+// shift passed to Align(q, shift) lines q up with p. It performs the
+// exact operation sequence of SBD's CrossCorrelate path on the cached
+// spectra, so the result is bit-identical; with a warm scratch it
+// allocates nothing.
+func (p *sbdProfile) distShift(q *sbdProfile, s *Scratch) (float64, int) {
 	if p.n != q.n {
 		panic("kshape: profiled series length mismatch")
 	}
@@ -117,20 +178,21 @@ func (p *sbdProfile) distShift(q *sbdProfile) (float64, int) {
 	if p.norm == 0 || q.norm == 0 {
 		return 1, 0
 	}
-	prod := make([]complex128, p.padded)
+	prod := s.prodBuf(p.padded)
 	for i := range prod {
 		prod[i] = p.spectrum[i] * complex(real(q.spectrum[i]), -imag(q.spectrum[i]))
 	}
-	mathx.IFFT(prod)
+	inv := s.invBuf(p.padded)
+	mathx.RealIFFT(inv, prod)
 	denom := p.norm * q.norm
 	best, bestShift := math.Inf(-1), 0
-	for s := -(p.n - 1); s <= p.n-1; s++ {
-		idx := s
+	for sh := -(p.n - 1); sh <= p.n-1; sh++ {
+		idx := sh
 		if idx < 0 {
 			idx += p.padded
 		}
-		if v := real(prod[idx]) / denom; v > best {
-			best, bestShift = v, s
+		if v := inv[idx] / denom; v > best {
+			best, bestShift = v, sh
 		}
 	}
 	return 1 - best, bestShift
@@ -155,18 +217,26 @@ func PairwiseSBD(series [][]float64) ([][]float64, error) {
 		}
 		profiles[i] = newSBDProfile(s)
 	}
+	var s Scratch
+	return pairwiseFromProfiles(profiles, &s), nil
+}
+
+// pairwiseFromProfiles fills the symmetric distance matrix from cached
+// spectra — the shared core of PairwiseSBD and the sweep's batched path.
+func pairwiseFromProfiles(profiles []*sbdProfile, s *Scratch) [][]float64 {
+	n := len(profiles)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v := profiles[i].dist(profiles[j])
+			v := profiles[i].dist(profiles[j], s)
 			d[i][j] = v
 			d[j][i] = v
 		}
 	}
-	return d, nil
+	return d
 }
 
 func l2(x []float64) float64 {

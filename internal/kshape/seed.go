@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"github.com/sieve-microservices/sieve/internal/strdist"
-	"github.com/sieve-microservices/sieve/internal/timeseries"
 )
 
 // NameSeeds produces an initial cluster assignment for k clusters from
@@ -77,8 +76,4 @@ func containsInt(xs []int, v int) bool {
 		}
 	}
 	return false
-}
-
-func znormCopy(s []float64) []float64 {
-	return timeseries.ZNormalize(s)
 }

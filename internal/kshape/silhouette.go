@@ -134,29 +134,38 @@ func ChooseKFromDist(ctx context.Context, series [][]float64, dist [][]float64, 
 		return nil, err
 	}
 
+	// Normalize and transform every series exactly once: the cached
+	// spectra serve the distance matrix and every candidate k of the
+	// sweep (each of which used to recompute all of them per restart).
+	// Profiles are immutable, so the per-k goroutines share them freely.
+	p, err := prepare(series)
+	if err != nil {
+		return nil, err
+	}
+
 	// The distance matrix is independent of k; compute it once (or
 	// reuse the caller's).
 	if dist == nil {
-		var err error
-		dist, err = PairwiseSBD(normalizeAll(series))
-		if err != nil {
-			return nil, err
-		}
+		var s Scratch
+		dist = pairwiseFromProfiles(p.profiles, &s)
 	}
 
 	// Sweep the candidate cluster counts concurrently; each attempt
-	// writes only its own slot, keeping the merge deterministic.
+	// writes only its own slot, keeping the merge deterministic. Scratch
+	// buffers are per worker (indexed by worker id, no pooling), so reuse
+	// is race-free by construction.
 	type attempt struct {
 		res   *Result
 		score float64
 	}
 	attempts := make([]attempt, kMax-kMin+1)
-	err := parallel.ForEach(ctx, workers, len(attempts), func(_ context.Context, i int) error {
+	scratches := make([]Scratch, parallel.Workers(workers))
+	err = parallel.ForEachWorker(ctx, workers, len(attempts), func(_ context.Context, worker, i int) error {
 		opts := Options{K: kMin + i, Seed: seed, Restarts: 3}
 		if names != nil {
 			opts.InitialAssignments = NameSeeds(names, opts.K)
 		}
-		res, err := Cluster(series, opts)
+		res, _, err := clusterPrepared(p, opts, &scratches[worker])
 		if err != nil {
 			return err
 		}
@@ -181,14 +190,4 @@ func ChooseKFromDist(ctx context.Context, series [][]float64, dist [][]float64, 
 		}
 	}
 	return best, nil
-}
-
-func normalizeAll(series [][]float64) [][]float64 {
-	// PairwiseSBD divides by norms, so only centering matters for SBD;
-	// reuse the same z-normalization as Cluster for consistency.
-	out := make([][]float64, len(series))
-	for i, s := range series {
-		out[i] = znormCopy(s)
-	}
-	return out
 }

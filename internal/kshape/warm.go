@@ -46,17 +46,21 @@ func ClusterWarmContext(ctx context.Context, series [][]float64, initial []int, 
 		return &SweepResult{Result: res, Silhouette: 0, Scores: map[int]float64{1: 0}}, nil, nil
 	}
 
-	res, err := Cluster(series, Options{K: k, Seed: seed, InitialAssignments: initial})
+	// One prepare serves both the warm clustering and the scoring
+	// distance matrix, so each series is normalized and transformed once.
+	p, err := prepare(series)
+	if err != nil {
+		return nil, nil, err
+	}
+	var s Scratch
+	res, _, err := clusterPrepared(p, Options{K: k, Seed: seed, InitialAssignments: initial}, &s)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	dist, err := PairwiseSBD(normalizeAll(series))
-	if err != nil {
-		return nil, nil, err
-	}
+	dist := pairwiseFromProfiles(p.profiles, &s)
 	score, err := Silhouette(dist, res.Assignments)
 	if err != nil {
 		return nil, nil, err

@@ -9,4 +9,19 @@
 // the implementations favour numerical robustness for the moderate problem
 // sizes Sieve encounters (time series of 10^2..10^5 points, regression
 // designs with tens of columns).
+//
+// # Concurrency
+//
+// The pure entry points — FFT, IFFT, RealFFT, RealIFFT, CrossCorrelate,
+// Convolve, SolveLeastSquares, DominantEigen, and the distribution
+// functions — are safe for concurrent use: their only shared state is
+// the process-wide twiddle-table cache, which is internally locked and
+// holds immutable tables. The scratch-carrying variants
+// (CrossCorrelateInto, ConvolveInto, SolveLeastSquaresInto,
+// DominantEigenWith) are safe for concurrent use with DISTINCT scratch
+// values; the scratch types themselves (FFTScratch, LSScratch,
+// EigenScratch — and the Scratch types layered on them in
+// internal/stats, internal/granger, and internal/kshape) must never be
+// shared between goroutines. Fan-outs keep one scratch per worker,
+// indexed by parallel.ForEachWorker's worker id.
 package mathx

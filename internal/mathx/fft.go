@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // NextPow2 returns the smallest power of two that is >= n. It returns 1 for
@@ -18,6 +19,65 @@ func NextPow2(n int) int {
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool {
 	return n > 0 && n&(n-1) == 0
+}
+
+// twiddleCache holds one twiddle table per butterfly stage size and
+// direction, shared by every transform in the process. A stage table is
+// immutable after creation, so concurrent transforms only contend on the
+// RWMutex read path. Tables are small (size/2 entries) and only one per
+// power of two ever exists per direction, so the cache is effectively
+// bounded by the largest transform the process has seen.
+var twiddleCache struct {
+	sync.RWMutex
+	fwd map[int][]complex128
+	inv map[int][]complex128
+}
+
+// stageTwiddles returns the twiddle table for one butterfly stage of the
+// given size: entry k holds the k-th factor produced by the multiplicative
+// recurrence w *= exp(sign*2*pi*i/size) starting from 1. The recurrence —
+// including its accumulated rounding — is exactly what the pre-table
+// transform computed inline per butterfly column, so table-driven output
+// is bit-identical to the historical inline form.
+func stageTwiddles(size int, inverse bool) []complex128 {
+	twiddleCache.RLock()
+	m := twiddleCache.fwd
+	if inverse {
+		m = twiddleCache.inv
+	}
+	tab := m[size]
+	twiddleCache.RUnlock()
+	if tab != nil {
+		return tab
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	step := sign * 2 * math.Pi / float64(size)
+	wStep := complex(math.Cos(step), math.Sin(step))
+	tab = make([]complex128, size/2)
+	w := complex(1, 0)
+	for k := range tab {
+		tab[k] = w
+		w *= wStep
+	}
+
+	twiddleCache.Lock()
+	if inverse {
+		if twiddleCache.inv == nil {
+			twiddleCache.inv = map[int][]complex128{}
+		}
+		twiddleCache.inv[size] = tab
+	} else {
+		if twiddleCache.fwd == nil {
+			twiddleCache.fwd = map[int][]complex128{}
+		}
+		twiddleCache.fwd[size] = tab
+	}
+	twiddleCache.Unlock()
+	return tab
 }
 
 // FFT computes the forward discrete Fourier transform of x in place and
@@ -41,7 +101,8 @@ func IFFT(x []complex128) []complex128 {
 }
 
 // fft is an iterative radix-2 Cooley-Tukey transform. inverse selects the
-// conjugate twiddle factors (without the 1/n normalization).
+// conjugate twiddle factors (without the 1/n normalization). Twiddles come
+// from the per-stage cache, so a steady-state transform allocates nothing.
 func fft(x []complex128, inverse bool) []complex128 {
 	n := len(x)
 	if !IsPow2(n) {
@@ -60,27 +121,169 @@ func fft(x []complex128, inverse bool) []complex128 {
 		}
 	}
 
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		// Twiddle factor advanced multiplicatively per butterfly column.
-		wStep := complex(math.Cos(step), math.Sin(step))
+		tab := stageTwiddles(size, inverse)
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * w
+				b := x[start+k+half] * tab[k]
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wStep
 			}
 		}
 	}
 	return x
+}
+
+// RealFFT computes the unnormalized forward DFT of the real series x,
+// zero-padded to length m (a power of two >= len(x)), writing the full
+// complex spectrum into dst[:m] and returning it. It packs the even/odd
+// samples of x into one half-size complex transform, so a real input
+// costs half a complex FFT. Each series is transformed alone — never
+// packed pairwise with another — so a series' spectrum depends only on
+// its own samples; the spectrum caches in internal/kshape rely on that
+// for exact batched == pairwise distance equality.
+func RealFFT(dst []complex128, x []float64, m int) []complex128 {
+	if !IsPow2(m) || m < len(x) {
+		panic(fmt.Sprintf("mathx: RealFFT pad %d must be a power of two >= input length %d", m, len(x)))
+	}
+	dst = dst[:m]
+	if m == 1 {
+		v := 0.0
+		if len(x) > 0 {
+			v = x[0]
+		}
+		dst[0] = complex(v, 0)
+		return dst
+	}
+
+	// Pack z[j] = x[2j] + i*x[2j+1] (zero-padded) and transform at half
+	// size.
+	h := m / 2
+	for j := 0; j < h; j++ {
+		var re, im float64
+		if 2*j < len(x) {
+			re = x[2*j]
+		}
+		if 2*j+1 < len(x) {
+			im = x[2*j+1]
+		}
+		dst[j] = complex(re, im)
+	}
+	fft(dst[:h], false)
+
+	// Unpack: with E and O the DFTs of the even and odd samples,
+	//   E_k = (Z[k] + conj(Z[h-k])) / 2
+	//   O_k = (Z[k] - conj(Z[h-k])) / (2i)
+	//   X[k] = E_k + W_m^k * O_k,  X[k+h] = E_k - W_m^k * O_k
+	// where W_m^k is exactly the forward stage-m twiddle table entry.
+	// Processing index pairs (k, h-k) together makes the unpack in-place.
+	tab := stageTwiddles(m, false)
+	z0 := dst[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k <= h/2; k++ {
+		j := h - k
+		zk, zj := dst[k], dst[j]
+
+		ek := complex((real(zk)+real(zj))/2, (imag(zk)-imag(zj))/2)
+		ok := complex((imag(zk)+imag(zj))/2, (real(zj)-real(zk))/2)
+		tk := tab[k] * ok
+		dst[k] = ek + tk
+		dst[k+h] = ek - tk
+
+		if j != k {
+			ej := complex((real(zj)+real(zk))/2, (imag(zj)-imag(zk))/2)
+			oj := complex((imag(zj)+imag(zk))/2, (real(zk)-real(zj))/2)
+			tj := tab[j] * oj
+			dst[j] = ej + tj
+			dst[j+h] = ej - tj
+		}
+	}
+	return dst
+}
+
+// RealIFFT inverts a conjugate-symmetric spectrum — e.g. any product of
+// RealFFT spectra (with or without conjugation of one operand, both real
+// inputs) — into its real time-domain signal, normalizing by 1/m like
+// IFFT. spec (length m, a power of two) is consumed as scratch; dst must
+// have capacity for m values. It runs one half-size complex inverse
+// transform instead of a full-size one.
+func RealIFFT(dst []float64, spec []complex128) []float64 {
+	m := len(spec)
+	if !IsPow2(m) {
+		panic(fmt.Sprintf("mathx: RealIFFT length %d is not a power of two", m))
+	}
+	dst = dst[:m]
+	if m == 1 {
+		dst[0] = real(spec[0])
+		return dst
+	}
+
+	// Re-pack the spectrum of the interleaved half-size signal:
+	//   E_k = (P[k] + P[k+h]) / 2
+	//   O_k = (P[k] - P[k+h]) / 2 * exp(+2*pi*i*k/m)
+	//   Z[k] = E_k + i*O_k
+	// then one half-size inverse transform recovers z[j] whose real and
+	// imaginary parts are the even and odd output samples. Each slot k is
+	// read before it is written, so the re-pack is in-place.
+	h := m / 2
+	tab := stageTwiddles(m, true)
+	for k := 0; k < h; k++ {
+		pk, ph := spec[k], spec[k+h]
+		ek := complex((real(pk)+real(ph))/2, (imag(pk)+imag(ph))/2)
+		ok := complex((real(pk)-real(ph))/2, (imag(pk)-imag(ph))/2) * tab[k]
+		spec[k] = complex(real(ek)-imag(ok), imag(ek)+real(ok))
+	}
+	z := spec[:h]
+	fft(z, true)
+	// The /2 folded into E and O above plus this /h totals the 1/m
+	// normalization of a full-size IFFT.
+	nh := complex(float64(h), 0)
+	for j := 0; j < h; j++ {
+		v := z[j] / nh
+		dst[2*j] = real(v)
+		dst[2*j+1] = imag(v)
+	}
+	return dst
+}
+
+// FFTScratch holds the reusable transform buffers of CrossCorrelateInto
+// and ConvolveInto. The zero value is ready to use; buffers grow to the
+// largest padded size seen and are reused across calls. A scratch must
+// not be used concurrently — fan-outs keep one per worker.
+type FFTScratch struct {
+	fa, fb []complex128
+	rt     []float64
+}
+
+// spectra returns the two padded spectrum buffers at size m.
+func (s *FFTScratch) spectra(m int) (fa, fb []complex128) {
+	if cap(s.fa) < m {
+		s.fa = make([]complex128, m)
+	}
+	if cap(s.fb) < m {
+		s.fb = make([]complex128, m)
+	}
+	return s.fa[:m], s.fb[:m]
+}
+
+// realBuf returns the real inverse-transform output buffer at size m.
+func (s *FFTScratch) realBuf(m int) []float64 {
+	if cap(s.rt) < m {
+		s.rt = make([]float64, m)
+	}
+	return s.rt[:m]
+}
+
+// realSpectra is the pad+transform prologue shared by CrossCorrelateInto
+// and ConvolveInto: both operands' full spectra at padded size m.
+func realSpectra(a, b []float64, m int, s *FFTScratch) (fa, fb []complex128) {
+	fa, fb = s.spectra(m)
+	RealFFT(fa, a, m)
+	RealFFT(fb, b, m)
+	return fa, fb
 }
 
 // CrossCorrelate computes the full linear cross-correlation of two
@@ -94,36 +297,45 @@ func fft(x []complex128, inverse bool) []complex128 {
 // quantity CC_w used by the k-Shape shape-based distance. CrossCorrelate
 // panics if the lengths differ or are zero.
 func CrossCorrelate(a, b []float64) []float64 {
+	checkCorrLengths(a, b)
+	var s FFTScratch
+	return CrossCorrelateInto(make([]float64, 2*len(a)-1), a, b, &s)
+}
+
+// CrossCorrelateInto is CrossCorrelate writing into dst (capacity >=
+// 2n-1) with caller-owned scratch, so steady-state correlation allocates
+// nothing. It returns dst[:2n-1].
+func CrossCorrelateInto(dst []float64, a, b []float64, s *FFTScratch) []float64 {
+	checkCorrLengths(a, b)
 	n := len(a)
-	if n == 0 || n != len(b) {
-		panic(fmt.Sprintf("mathx: CrossCorrelate needs equal non-empty lengths, got %d and %d", len(a), len(b)))
-	}
 	m := NextPow2(2*n - 1)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i := 0; i < n; i++ {
-		fa[i] = complex(a[i], 0)
-		fb[i] = complex(b[i], 0)
-	}
-	FFT(fa)
-	FFT(fb)
+	fa, fb := realSpectra(a, b, m, s)
 	for i := range fa {
 		// Correlation uses the conjugate of the second operand's spectrum.
-		fa[i] *= complexConj(fb[i])
+		fa[i] *= complex(real(fb[i]), -imag(fb[i]))
 	}
-	IFFT(fa)
+	// The product spectrum is conjugate-symmetric (both inputs are real),
+	// so the real inverse transform applies.
+	inv := s.realBuf(m)
+	RealIFFT(inv, fa)
 
 	// The circular correlation wraps negative shifts to the tail of the
 	// buffer; unwrap into [-(n-1), n-1] order.
-	r := make([]float64, 2*n-1)
-	for s := -(n - 1); s <= n-1; s++ {
-		idx := s
+	dst = dst[:2*n-1]
+	for sh := -(n - 1); sh <= n-1; sh++ {
+		idx := sh
 		if idx < 0 {
 			idx += m
 		}
-		r[s+n-1] = real(fa[idx])
+		dst[sh+n-1] = inv[idx]
 	}
-	return r
+	return dst
+}
+
+func checkCorrLengths(a, b []float64) {
+	if len(a) == 0 || len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: CrossCorrelate needs equal non-empty lengths, got %d and %d", len(a), len(b)))
+	}
 }
 
 // Convolve computes the full linear convolution of two real series via FFT.
@@ -132,29 +344,26 @@ func Convolve(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
+	var s FFTScratch
+	return ConvolveInto(make([]float64, len(a)+len(b)-1), a, b, &s)
+}
+
+// ConvolveInto is Convolve writing into dst (capacity >= len(a)+len(b)-1)
+// with caller-owned scratch. It returns dst[:len(a)+len(b)-1], or nil
+// when either input is empty.
+func ConvolveInto(dst []float64, a, b []float64, s *FFTScratch) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
 	outLen := len(a) + len(b) - 1
 	m := NextPow2(outLen)
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	FFT(fa)
-	FFT(fb)
+	fa, fb := realSpectra(a, b, m, s)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}
-	IFFT(fa)
-	out := make([]float64, outLen)
-	for i := range out {
-		out[i] = real(fa[i])
-	}
-	return out
-}
-
-func complexConj(c complex128) complex128 {
-	return complex(real(c), -imag(c))
+	inv := s.realBuf(m)
+	RealIFFT(inv, fa)
+	dst = dst[:outLen]
+	copy(dst, inv[:outLen])
+	return dst
 }

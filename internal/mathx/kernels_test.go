@@ -1,0 +1,144 @@
+package mathx
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// referenceFFT is the historical transform with the twiddle recurrence
+// inline per butterfly column — the form the per-stage table cache
+// replaced. The tables are generated with the identical recurrence, so
+// the cached transform must reproduce this output bit for bit.
+func referenceFFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return x
+	}
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return x
+}
+
+// TestKernelFFTTwiddleTableBitIdentical pins the table-driven transform
+// to the inline-recurrence reference: identical bits, both directions,
+// across sizes — the invariant that makes this PR's kernel changes
+// invisible to every consumer of FFT-based math.
+func TestKernelFFTTwiddleTableBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for size := 2; size <= 4096; size <<= 1 {
+		for _, inverse := range []bool{false, true} {
+			x := make([]complex128, size)
+			for i := range x {
+				x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			want := referenceFFT(append([]complex128(nil), x...), inverse)
+			got := fft(append([]complex128(nil), x...), inverse)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("size %d inverse %v: entry %d = %v, reference %v", size, inverse, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRealSpectrumMatchesComplexFFT checks the half-size real-input path
+// against the plain complex transform (numerically — the two factor the
+// butterflies differently, so equality is up to rounding).
+func TestRealSpectrumMatchesComplexFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 255, 1024} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		m := NextPow2(2*n - 1)
+		got := RealFFT(make([]complex128, m), x, m)
+
+		full := make([]complex128, m)
+		for i, v := range x {
+			full[i] = complex(v, 0)
+		}
+		want := FFT(full)
+		for k := range want {
+			scale := 1 + math.Hypot(real(want[k]), imag(want[k]))
+			if math.Abs(real(got[k])-real(want[k])) > 1e-9*scale ||
+				math.Abs(imag(got[k])-imag(want[k])) > 1e-9*scale {
+				t.Fatalf("n=%d: bin %d = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestRealSpectrumRoundTrip checks RealIFFT(RealFFT(x)) == x up to
+// rounding, the pairing every correlation in the repo relies on.
+func TestRealSpectrumRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range []int{1, 2, 8, 64, 512} {
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := RealFFT(make([]complex128, m), x, m)
+		back := RealIFFT(make([]float64, m), spec)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9*(1+math.Abs(x[i])) {
+				t.Fatalf("m=%d: sample %d round-tripped to %v, want %v", m, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+// TestKernelCrossCorrelateScratchAllocs pins the steady-state allocation
+// count of the Into kernels at zero once the scratch is warm.
+func TestKernelCrossCorrelateScratchAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	var s FFTScratch
+	dst := make([]float64, 2*n-1)
+	CrossCorrelateInto(dst, a, b, &s) // warm the scratch and twiddle cache
+
+	if allocs := testing.AllocsPerRun(50, func() {
+		CrossCorrelateInto(dst, a, b, &s)
+	}); allocs != 0 {
+		t.Fatalf("warm CrossCorrelateInto allocates %v times per call, want 0", allocs)
+	}
+	conv := make([]float64, 2*n-1)
+	ConvolveInto(conv, a, b, &s)
+	if allocs := testing.AllocsPerRun(50, func() {
+		ConvolveInto(conv, a, b, &s)
+	}); allocs != 0 {
+		t.Fatalf("warm ConvolveInto allocates %v times per call, want 0", allocs)
+	}
+}

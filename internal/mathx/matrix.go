@@ -70,23 +70,56 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Resize reshapes m to r-by-c in place, reusing the backing array when it
+// is large enough. The contents are unspecified afterwards; callers must
+// write every cell before reading. It returns m, and panics on a negative
+// dimension.
+func (m *Matrix) Resize(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", r, c))
+	}
+	if cap(m.data) < r*c {
+		m.data = make([]float64, r*c)
+	} else {
+		m.data = m.data[:r*c]
+	}
+	m.rows, m.cols = r, c
+	return m
+}
+
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
-	t := NewMatrix(m.cols, m.rows)
+	return m.TInto(NewMatrix(m.cols, m.rows))
+}
+
+// TInto writes the transpose of m into dst (resized to fit) and returns
+// dst.
+func (m *Matrix) TInto(dst *Matrix) *Matrix {
+	dst.Resize(m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
-			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+			dst.data[j*dst.cols+i] = m.data[i*m.cols+j]
 		}
 	}
-	return t
+	return dst
 }
 
 // Mul returns the matrix product m*b. It panics on a shape mismatch.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
+	return m.MulInto(NewMatrix(m.rows, b.cols), b)
+}
+
+// MulInto writes the matrix product m*b into dst (resized and zeroed) and
+// returns dst. The accumulation order matches Mul exactly. It panics on a
+// shape mismatch.
+func (m *Matrix) MulInto(dst *Matrix, b *Matrix) *Matrix {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mathx: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	out := NewMatrix(m.rows, b.cols)
+	out := dst.Resize(m.rows, b.cols)
+	for i := range out.data {
+		out.data[i] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
@@ -106,10 +139,16 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // MulVec returns the matrix-vector product m*x. It panics on a shape
 // mismatch.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.rows), x)
+}
+
+// MulVecInto writes the matrix-vector product m*x into out (capacity >=
+// Rows) and returns out[:Rows]. It panics on a shape mismatch.
+func (m *Matrix) MulVecInto(out []float64, x []float64) []float64 {
 	if m.cols != len(x) {
 		panic(fmt.Sprintf("mathx: MulVec shape mismatch %dx%d * %d", m.rows, m.cols, len(x)))
 	}
-	out := make([]float64, m.rows)
+	out = out[:m.rows]
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
@@ -121,10 +160,28 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return out
 }
 
+// LSScratch holds the QR workspace reused by SolveLeastSquaresInto: the
+// factored copy of the design and the reflected response. The zero value
+// is ready to use; a scratch must not be used concurrently.
+type LSScratch struct {
+	r Matrix
+	y []float64
+}
+
 // SolveLeastSquares solves min_x ||A*x - b||_2 using Householder QR.
 // A must have at least as many rows as columns; it returns ErrSingular when
 // A is numerically rank deficient.
 func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	var s LSScratch
+	return SolveLeastSquaresInto(nil, a, b, &s)
+}
+
+// SolveLeastSquaresInto is SolveLeastSquares with a caller-owned solution
+// buffer and QR workspace, so repeated solves allocate nothing. dst may
+// be nil or short, in which case the solution is freshly allocated; the
+// factorization itself is bit-identical to SolveLeastSquares (same copy
+// of A, same reflector arithmetic).
+func SolveLeastSquaresInto(dst []float64, a *Matrix, b []float64, s *LSScratch) ([]float64, error) {
 	if a.rows != len(b) {
 		return nil, fmt.Errorf("mathx: design has %d rows but response has %d", a.rows, len(b))
 	}
@@ -136,8 +193,12 @@ func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
 		return nil, errors.New("mathx: empty design matrix")
 	}
 
-	r := a.Clone()
-	y := make([]float64, n)
+	r := s.r.Resize(n, p)
+	copy(r.data, a.data)
+	if cap(s.y) < n {
+		s.y = make([]float64, n)
+	}
+	y := s.y[:n]
 	copy(y, b)
 
 	// Householder QR: for each column k, reflect so that the subdiagonal
@@ -187,7 +248,10 @@ func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
 
 	// Back substitution on the p-by-p upper triangle. The diagonal of R now
 	// holds -norm values from the loop above; check conditioning.
-	x := make([]float64, p)
+	if cap(dst) < p {
+		dst = make([]float64, p)
+	}
+	x := dst[:p]
 	for k := p - 1; k >= 0; k-- {
 		d := -r.At(k, k) // sign flipped by the reflector construction
 		if math.Abs(d) < 1e-12 {
@@ -258,17 +322,44 @@ func PowerIteration(s *Matrix, maxIter int, tol float64) (vec []float64, eigenva
 // Iteration is deterministic and stops after maxIter steps or when
 // successive normalized iterates agree within tol (up to sign).
 func DominantEigen(n int, apply func(dst, src []float64), maxIter int, tol float64) (vec []float64, eigenvalue float64) {
+	var s EigenScratch
+	return DominantEigenWith(n, apply, maxIter, tol, &s)
+}
+
+// EigenScratch holds DominantEigenWith's three iteration vectors. The
+// zero value is ready to use; a scratch must not be used concurrently.
+type EigenScratch struct {
+	v, w, prev []float64
+}
+
+func (s *EigenScratch) buffers(n int) (v, w, prev []float64) {
+	if cap(s.v) < n {
+		s.v = make([]float64, n)
+	}
+	if cap(s.w) < n {
+		s.w = make([]float64, n)
+	}
+	if cap(s.prev) < n {
+		s.prev = make([]float64, n)
+	}
+	return s.v[:n], s.w[:n], s.prev[:n]
+}
+
+// DominantEigenWith is DominantEigen with caller-owned iteration vectors,
+// so repeated extractions allocate nothing. The returned vector aliases
+// the scratch and is only valid until the next call with the same
+// scratch; callers that keep it must copy (k-Shape z-normalizes it into a
+// fresh slice anyway).
+func DominantEigenWith(n int, apply func(dst, src []float64), maxIter int, tol float64, s *EigenScratch) (vec []float64, eigenvalue float64) {
 	if n == 0 {
 		return nil, 0
 	}
-	v := make([]float64, n)
+	v, w, prev := s.buffers(n)
 	for i := range v {
 		v[i] = 1 + float64(i%7)/7
 	}
 	normalize(v)
 
-	w := make([]float64, n)
-	prev := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, v)
 		apply(w, v)

@@ -45,6 +45,18 @@ func Workers(n int) int {
 // into a pre-allocated slot per index and merging in index order after
 // ForEach returns.
 func ForEach(ctx context.Context, workers, n int, task func(ctx context.Context, i int) error) error {
+	return ForEachWorker(ctx, workers, n, func(ctx context.Context, _, i int) error {
+		return task(ctx, i)
+	})
+}
+
+// ForEachWorker is ForEach with the executing worker's id (in
+// [0, Workers(workers))) passed to each task. The id lets callers thread
+// per-worker scratch buffers through the fan-out — index into a pre-sized
+// slice of scratches, no sync.Pool, race-detector clean — while the
+// worker count stays an execution detail that never affects results.
+// The sequential fast path always reports worker 0.
+func ForEachWorker(ctx context.Context, workers, n int, task func(ctx context.Context, worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -57,7 +69,7 @@ func ForEach(ctx context.Context, workers, n int, task func(ctx context.Context,
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := task(ctx, i); err != nil {
+			if err := task(ctx, 0, i); err != nil {
 				return err
 			}
 		}
@@ -104,7 +116,7 @@ func ForEach(ctx context.Context, workers, n int, task func(ctx context.Context,
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -114,7 +126,7 @@ func ForEach(ctx context.Context, workers, n int, task func(ctx context.Context,
 				if i >= n {
 					return
 				}
-				if err := task(ctx, i); err != nil {
+				if err := task(ctx, worker, i); err != nil {
 					fail(i, err)
 					return
 				}
@@ -122,7 +134,7 @@ func ForEach(ctx context.Context, workers, n int, task func(ctx context.Context,
 				completed++
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

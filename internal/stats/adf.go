@@ -51,6 +51,16 @@ func DefaultADFLags(n int) int {
 // Sieve first-differences series that fail this test before Granger
 // analysis (§3.3). Pass lags < 0 to use DefaultADFLags.
 func ADF(y []float64, lags int) (*ADFResult, error) {
+	var s Scratch
+	return ADFWith(y, lags, &s)
+}
+
+// ADFWith is ADF with caller-owned scratch: the lag design is written
+// directly into a reusable flat matrix (cell for cell what
+// DesignWithIntercept built from intermediate columns) and the
+// regression runs through FitOLSWith, so a steady-state test performs
+// O(1) allocations. Results are bit-identical to ADF.
+func ADFWith(y []float64, lags int, s *Scratch) (*ADFResult, error) {
 	n := len(y)
 	if lags < 0 {
 		lags = DefaultADFLags(n)
@@ -75,28 +85,24 @@ func ADF(y []float64, lags int) (*ADFResult, error) {
 
 	dy := timeseries.Diff(y) // dy[t] = y[t+1]-y[t], length n-1
 
-	// Response: Δy_t for t = lags..n-2 (index into dy).
-	resp := make([]float64, rows)
-	level := make([]float64, rows) // y_{t-1} term: y[lags], y[lags+1], ...
-	lagCols := make([][]float64, lags)
-	for i := range lagCols {
-		lagCols[i] = make([]float64, rows)
+	// Response Δy_t and design [1, y_{t-1}, Δy_{t-1}..Δy_{t-lags}] for
+	// t = lags..n-2 (index into dy), filled row by row.
+	if cap(s.resp) < rows {
+		s.resp = make([]float64, rows)
 	}
+	resp := s.resp[:rows]
+	design := s.design.Resize(rows, params)
 	for r := 0; r < rows; r++ {
 		t := lags + r
 		resp[r] = dy[t]
-		level[r] = y[t]
+		design.Set(r, 0, 1)
+		design.Set(r, 1, y[t])
 		for i := 1; i <= lags; i++ {
-			lagCols[i-1][r] = dy[t-i]
+			design.Set(r, 1+i, dy[t-i])
 		}
 	}
 
-	cols := append([][]float64{level}, lagCols...)
-	design, err := DesignWithIntercept(cols...)
-	if err != nil {
-		return nil, err
-	}
-	model, err := FitOLS(resp, design)
+	model, err := FitOLSWith(resp, design, s)
 	if err != nil {
 		return nil, fmt.Errorf("stats: ADF regression: %w", err)
 	}
@@ -116,7 +122,14 @@ func ADF(y []float64, lags int) (*ADFResult, error) {
 // The returned bool reports whether differencing was applied. Series too
 // short to test are returned unchanged.
 func EnsureStationary(y []float64, lags int) ([]float64, bool) {
-	res, err := ADF(y, lags)
+	var s Scratch
+	return EnsureStationaryWith(y, lags, &s)
+}
+
+// EnsureStationaryWith is EnsureStationary with caller-owned regression
+// scratch.
+func EnsureStationaryWith(y []float64, lags int, s *Scratch) ([]float64, bool) {
+	res, err := ADFWith(y, lags, s)
 	if err != nil || res.Stationary {
 		return y, false
 	}

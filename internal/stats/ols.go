@@ -36,11 +36,41 @@ type OLS struct {
 	sigma2 float64
 }
 
+// Scratch pools the regression workspace reused across FitOLSWith and
+// ADFWith calls: QR factorizations, the prediction vector, the normal
+// matrix of the standard-error solves, and the ADF design. The zero
+// value is ready to use. A Scratch must not be shared between concurrent
+// goroutines; fan-outs keep one per worker. Only the workspace is
+// pooled — every fitted model's Coef/Residuals/StdErr slices are fresh,
+// so results never alias the scratch and stay valid across later calls.
+type Scratch struct {
+	ls    mathx.LSScratch // QR workspace of the main solve
+	lsStd mathx.LSScratch // QR workspace of the p-by-p std-err solves
+	pred  []float64
+	xt    mathx.Matrix
+	xtx   mathx.Matrix
+	e     []float64
+	col   []float64
+
+	// ADF buffers (see ADFWith).
+	resp   []float64
+	design mathx.Matrix
+}
+
 // FitOLS fits y ~ X by least squares. X must have len(y) rows and at least
 // one column, and there must be at least one residual degree of freedom
 // (N > P). The returned model includes coefficient standard errors, which
 // the ADF test needs for its t-statistic.
 func FitOLS(y []float64, x *mathx.Matrix) (*OLS, error) {
+	var s Scratch
+	return FitOLSWith(y, x, &s)
+}
+
+// FitOLSWith is FitOLS with caller-owned scratch: the QR and
+// normal-equation intermediates come from s, so a steady-state fit
+// performs O(1) small allocations (the returned model and its slices)
+// regardless of design size. Results are bit-identical to FitOLS.
+func FitOLSWith(y []float64, x *mathx.Matrix, s *Scratch) (*OLS, error) {
 	n, p := x.Rows(), x.Cols()
 	if n != len(y) {
 		return nil, fmt.Errorf("stats: %d observations but %d design rows", len(y), n)
@@ -52,12 +82,15 @@ func FitOLS(y []float64, x *mathx.Matrix) (*OLS, error) {
 		return nil, fmt.Errorf("%w: n=%d p=%d", ErrTooFewObservations, n, p)
 	}
 
-	coef, err := mathx.SolveLeastSquares(x, y)
+	coef, err := mathx.SolveLeastSquaresInto(nil, x, y, &s.ls)
 	if err != nil {
 		return nil, fmt.Errorf("stats: solving normal equations: %w", err)
 	}
 
-	pred := x.MulVec(coef)
+	if cap(s.pred) < n {
+		s.pred = make([]float64, n)
+	}
+	pred := x.MulVecInto(s.pred[:n], coef)
 	res := make([]float64, n)
 	var rss float64
 	for i := range y {
@@ -84,7 +117,7 @@ func FitOLS(y []float64, x *mathx.Matrix) (*OLS, error) {
 		P:         p,
 		sigma2:    rss / float64(n-p),
 	}
-	m.StdErr, err = coefStdErr(x, m.sigma2)
+	m.StdErr, err = coefStdErr(x, m.sigma2, s)
 	if err != nil {
 		return nil, err
 	}
@@ -123,18 +156,28 @@ func sign(x float64) int {
 
 // coefStdErr computes sqrt(sigma2 * diag((X'X)^-1)) by solving X'X e_j for
 // each basis vector with the QR solver. Designs here are small (tens of
-// columns), so the O(p^4) cost is irrelevant.
-func coefStdErr(x *mathx.Matrix, sigma2 float64) ([]float64, error) {
+// columns), so the O(p^4) cost is irrelevant. The transpose, normal
+// matrix, basis vector, and solve workspace all come from the scratch;
+// only the returned slice is fresh.
+func coefStdErr(x *mathx.Matrix, sigma2 float64, s *Scratch) ([]float64, error) {
 	p := x.Cols()
-	xtx := x.T().Mul(x)
+	xt := x.TInto(&s.xt)
+	xtx := xt.MulInto(&s.xtx, x)
+	if cap(s.e) < p {
+		s.e = make([]float64, p)
+	}
+	e := s.e[:p]
 	out := make([]float64, p)
 	for j := 0; j < p; j++ {
-		e := make([]float64, p)
+		for i := range e {
+			e[i] = 0
+		}
 		e[j] = 1
-		col, err := mathx.SolveLeastSquares(xtx, e)
+		col, err := mathx.SolveLeastSquaresInto(s.col, xtx, e, &s.lsStd)
 		if err != nil {
 			return nil, fmt.Errorf("stats: X'X singular computing std errors: %w", err)
 		}
+		s.col = col
 		v := col[j] * sigma2
 		if v < 0 {
 			v = 0

@@ -79,6 +79,7 @@ type series struct {
 // see pointSink). Callers own synchronization (a shard lock, or exclusive
 // access to a stolen snapshot).
 func (sr *series) scanRange(from, to int64, sink pointSink) error {
+	var it chunkIter
 	for _, c := range sr.chunks {
 		if c.agg.MaxT < from || c.agg.MinT >= to {
 			continue
@@ -86,7 +87,7 @@ func (sr *series) scanRange(from, to int64, sink pointSink) error {
 		if c.agg.MinT >= from && c.agg.MaxT < to && sink.chunk(c.agg) {
 			continue
 		}
-		if err := scanChunk(c.data, from, to, sink); err != nil {
+		if err := scanChunkWith(&it, c.data, from, to, sink); err != nil {
 			return err
 		}
 	}

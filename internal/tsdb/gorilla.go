@@ -102,7 +102,7 @@ func CompressBlock(points []Point) ([]byte, error) {
 // []Point slice. The zero cost per point is the same as DecompressBlock's
 // inner loop; the iterator is just that loop with its state lifted out.
 type chunkIter struct {
-	r     *bitReader
+	r     bitReader
 	count uint64
 	i     uint64
 
@@ -115,20 +115,23 @@ type chunkIter struct {
 	cur Point
 }
 
-// newChunkIter validates the chunk header and positions the iterator
-// before the first point. An empty chunk yields a nil iterator (no
-// points, no error), matching DecompressBlock on an empty block.
-func newChunkIter(chunk []byte) (*chunkIter, error) {
+// reset re-arms the iterator on a new chunk, validating the header and
+// positioning before the first point. It returns false for an empty
+// chunk (no points, no error), matching DecompressBlock on an empty
+// block. The iterator is a plain value — callers that scan many chunks
+// keep one on the stack and reset it per chunk, so the hot decode path
+// allocates nothing.
+func (it *chunkIter) reset(chunk []byte) (bool, error) {
 	if len(chunk) == 0 {
-		return nil, nil
+		return false, nil
 	}
-	r := newBitReader(chunk)
+	r := bitReader{buf: chunk}
 	count, err := r.readBits(32)
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	if count == 0 {
-		return nil, errors.New("tsdb: block with zero count")
+		return false, errors.New("tsdb: block with zero count")
 	}
 	// Plausibility bound against corrupted headers: every point after the
 	// first costs at least 2 bits (one timestamp control bit + one value
@@ -137,24 +140,37 @@ func newChunkIter(chunk []byte) (*chunkIter, error) {
 	// demand a multi-gigabyte allocation.
 	maxPoints := uint64(len(chunk))*8/2 + 1
 	if count > maxPoints {
-		return nil, fmt.Errorf("tsdb: block claims %d points but holds at most %d", count, maxPoints)
+		return false, fmt.Errorf("tsdb: block claims %d points but holds at most %d", count, maxPoints)
 	}
 	t0, err := r.readBits(64)
 	if err != nil {
-		return nil, err
+		return false, err
 	}
 	v0, err := r.readBits(64)
 	if err != nil {
-		return nil, err
+		return false, err
 	}
-	return &chunkIter{
+	*it = chunkIter{
 		r:            r,
 		count:        count,
 		prevT:        int64(t0),
 		prevV:        v0,
 		prevLeading:  -1,
 		prevTrailing: -1,
-	}, nil
+	}
+	return true, nil
+}
+
+// newChunkIter validates the chunk header and positions a fresh
+// iterator before the first point. An empty chunk yields a nil iterator
+// (no points, no error).
+func newChunkIter(chunk []byte) (*chunkIter, error) {
+	it := new(chunkIter)
+	ok, err := it.reset(chunk)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return it, nil
 }
 
 // next advances to the following point, reporting false at the end of
@@ -168,7 +184,7 @@ func (it *chunkIter) next() (bool, error) {
 		it.cur = Point{T: it.prevT, V: math.Float64frombits(it.prevV)}
 		return true, nil
 	}
-	dod, err := readDoD(it.r)
+	dod, err := readDoD(&it.r)
 	if err != nil {
 		return false, err
 	}
@@ -176,7 +192,7 @@ func (it *chunkIter) next() (bool, error) {
 	t := it.prevT + delta
 	it.prevT, it.prevDelta = t, delta
 
-	v, leading, trailing, err := readXORValue(it.r, it.prevV, it.prevLeading, it.prevTrailing)
+	v, leading, trailing, err := readXORValue(&it.r, it.prevV, it.prevLeading, it.prevTrailing)
 	if err != nil {
 		return false, err
 	}

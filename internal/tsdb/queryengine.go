@@ -293,8 +293,16 @@ func (r *rawSink) chunk(chunkAgg) bool { return false }
 // sink. The chunk is time-ordered, so the scan returns at the first
 // point past `to` without decoding the rest.
 func scanChunk(chunk []byte, from, to int64, sink pointSink) error {
-	it, err := newChunkIter(chunk)
-	if err != nil || it == nil {
+	var it chunkIter
+	return scanChunkWith(&it, chunk, from, to, sink)
+}
+
+// scanChunkWith is scanChunk with a caller-owned iterator, so loops over
+// many chunks (series.scanRange, block scans) reset one stack-resident
+// iterator instead of heap-allocating per chunk.
+func scanChunkWith(it *chunkIter, chunk []byte, from, to int64, sink pointSink) error {
+	ok, err := it.reset(chunk)
+	if err != nil || !ok {
 		return err
 	}
 	for {
@@ -636,4 +644,94 @@ func (s *Sharded) QueryMatch(componentGlob, metricGlob string, from, to int64) (
 	return s.QueryRange(context.Background(), RangeQuery{
 		Component: componentGlob, Metric: metricGlob, From: from, To: to,
 	})
+}
+
+// visitSink adapts one series' streamed scan to a SeriesVisitor: every
+// decoded point is forwarded with the series' index, and chunk summaries
+// are always declined (visitors need the actual points).
+type visitSink struct {
+	idx   int
+	n     int
+	visit SeriesVisitor
+}
+
+func (s *visitSink) add(p Point) {
+	s.visit(s.idx, p.T, p.V)
+	s.n++
+}
+
+func (s *visitSink) chunk(chunkAgg) bool { return false }
+
+// ScanMatch streams every matching series' points with T in [from, to)
+// directly from chunk decode into visit — no []Point or SeriesResult
+// materializes. Points arrive in storage order (sealed chunks, then
+// tail), which for the in-order ingest the pipeline produces equals
+// QueryMatch's stably time-sorted order. The whole scan runs under one
+// lock hold, so the result is a consistent snapshot; visits are
+// sequential. Streamed volume is charged to network-out as query
+// responses are.
+func (db *DB) ScanMatch(componentGlob, metricGlob string, from, to int64, begin func(keys []string), visit SeriesVisitor) error {
+	q := RangeQuery{Component: componentGlob, Metric: metricGlob, From: from, To: to}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	set := make(map[string]struct{}, len(db.data))
+	for k := range db.data {
+		set[k] = struct{}{}
+	}
+	keys := matchedKeys(set, q)
+	if begin != nil {
+		begin(keys)
+	}
+	sink := visitSink{visit: visit}
+	for i, key := range keys {
+		sink.idx = i
+		if err := db.data[key].scanRange(from, to, &sink); err != nil {
+			return fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
+		}
+	}
+	db.stats.NetworkOutBytes += 16 * sink.n
+	return nil
+}
+
+// ScanMatch streams every matching series' points with T in [from, to)
+// into visit, fanning the matched series out across a worker pool: one
+// series' points arrive in canonical storage order (persisted blocks,
+// checkpoint overlay, then shard memory) from a single goroutine, but
+// different series are visited concurrently — per-seriesIdx visitor
+// state needs no locking, shared state does. Like QueryRange, the
+// checkpoint-cut lock is held per series, not across the fan-out.
+func (s *Sharded) ScanMatch(componentGlob, metricGlob string, from, to int64, begin func(keys []string), visit SeriesVisitor) error {
+	q := RangeQuery{Component: componentGlob, Metric: metricGlob, From: from, To: to}
+	keys := matchedKeys(s.seriesKeySet(), q)
+	if begin != nil {
+		begin(keys)
+	}
+	return parallel.ForEach(context.Background(), q.Parallelism, len(keys), func(_ context.Context, i int) error {
+		sink := visitSink{idx: i, visit: visit}
+		if err := s.scanKey(keys[i], from, to, &sink); err != nil {
+			// A series enumerated a moment ago can disappear when block
+			// retention races the scan; absence is an empty scan, not a
+			// failure.
+			if errors.Is(err, ErrUnknownSeries) {
+				return nil
+			}
+			return err
+		}
+		s.netOut.Add(16 * int64(sink.n))
+		return nil
+	})
+}
+
+// scanKey streams one series under its own checkpoint-cut hold, in the
+// same canonical order aggregateKeyLocked consumes: persisted blocks (in
+// sequence order), the checkpoint overlay, then shard memory.
+func (s *Sharded) scanKey(key string, from, to int64, sink pointSink) error {
+	if s.dur != nil {
+		s.dur.cutMu.RLock()
+		defer s.dur.cutMu.RUnlock()
+		if err := s.dur.scanBlocks(key, from, to, sink); err != nil {
+			return err
+		}
+	}
+	return s.shards[s.shardIndex(key)].scanSeries(key, from, to, sink)
 }

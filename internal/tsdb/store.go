@@ -35,6 +35,29 @@ type RangeQuerier interface {
 	QueryMatch(componentGlob, metricGlob string, from, to int64) ([]SeriesResult, error)
 }
 
+// SeriesVisitor receives one streamed point during a ScanMatch.
+// seriesIdx indexes the key slice handed to the scan's begin callback;
+// points of one series arrive in canonical storage order from a single
+// goroutine, but different series may be visited concurrently, so
+// per-series state (indexed by seriesIdx) needs no locking while shared
+// state does.
+type SeriesVisitor func(seriesIdx int, t int64, v float64)
+
+// SeriesScanner is the streaming read surface: a visitor-style scan that
+// decodes chunks directly into the caller's accumulators (window rings,
+// bucket grids) with no intermediate []Point or SeriesResult
+// materialization. Both local stores implement it; dataset assembly and
+// the window cache prefer it over QueryMatch when available.
+type SeriesScanner interface {
+	// ScanMatch streams every series matching the globs with T in
+	// [from, to). begin runs once, before any visit, with the sorted
+	// matched keys (the slice is shared with the store — callers must not
+	// modify or retain it past the call; unlike QueryMatch's compacted
+	// results it may include series with no points in range). visit then
+	// receives each in-range point, per the SeriesVisitor contract.
+	ScanMatch(componentGlob, metricGlob string, from, to int64, begin func(keys []string), visit SeriesVisitor) error
+}
+
 // Store is the full surface shared by the single-mutex DB and the
 // sharded store: ingest, query, sealing, and resource accounting.
 type Store interface {
@@ -59,4 +82,7 @@ type Store interface {
 var (
 	_ Store = (*DB)(nil)
 	_ Store = (*Sharded)(nil)
+
+	_ SeriesScanner = (*DB)(nil)
+	_ SeriesScanner = (*Sharded)(nil)
 )
