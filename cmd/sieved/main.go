@@ -11,6 +11,8 @@
 //	       [-fsync interval] [-incremental] [-full-recompute-every N]
 //	       [-warm-start] [-warm-resweep-every N]
 //	       [-warm-silhouette-tolerance F] [-pprof-addr :6060]
+//	       [-self-scrape-interval 15s] [-slow-op-threshold 1s]
+//	       [-log-level info]
 //
 // With -data-dir the store is durable: writes go through a per-shard
 // write-ahead log and are periodically sealed into Gorilla-compressed
@@ -26,6 +28,20 @@
 // cycles). -warm-start additionally seeds clustering from the previous
 // cycle's assignments and skips the silhouette sweep while quality holds
 // (an approximation, hence a separate opt-in).
+//
+// sieved observes itself: GET /metrics serves the Prometheus text
+// exposition of its internal telemetry (ingest, WAL, checkpoint, query,
+// and pipeline instruments), GET /healthz and /readyz are the liveness
+// and readiness probes, and GET /debug/traces holds the slowest recent
+// requests and pipeline cycles (retained past -slow-op-threshold). With
+// -self-scrape-interval the same telemetry is also written into
+// sieved's own store under the reserved "sieve" component every
+// interval — queryable like any ingested series:
+//
+//	curl 'http://localhost:8086/query_range?component=sieve&metric=wal_fsync*'
+//
+// While self-scrape is on, /write rejects the "sieve" component and
+// the analysis pipeline ignores it (artifacts are unchanged).
 //
 // -pprof-addr serves net/http/pprof on a side listener so the online
 // loop can be profiled in place:
@@ -44,6 +60,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux, served via -pprof-addr
 	"os"
@@ -73,7 +90,17 @@ func main() {
 	warmResweepEvery := flag.Int("warm-resweep-every", 0, "with -warm-start, force a full silhouette sweep every N cycles (0 = default 10, negative = never on cadence alone)")
 	warmSilhouetteTolerance := flag.Float64("warm-silhouette-tolerance", 0, "with -warm-start, allowed silhouette drop vs the last full sweep before re-sweeping (0 = default 0.05)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	selfScrapeInterval := flag.Duration("self-scrape-interval", 0, "write own telemetry into the store under the reserved \"sieve\" component every interval (0 = disabled)")
+	slowOpThreshold := flag.Duration("slow-op-threshold", 0, "retain requests and pipeline cycles slower than this in /debug/traces (0 = default 1s, negative = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "error: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 
 	opts := sieve.ServerOptions{
 		AppName:                 *appName,
@@ -92,6 +119,8 @@ func main() {
 		WarmStart:               *warmStart,
 		WarmResweepEvery:        *warmResweepEvery,
 		WarmSilhouetteTolerance: *warmSilhouetteTolerance,
+		SelfScrapeInterval:      *selfScrapeInterval,
+		SlowOpThreshold:         *slowOpThreshold,
 	}
 	srv, err := sieve.NewServer(opts)
 	if err != nil {

@@ -16,6 +16,14 @@ import (
 	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
+// ErrNoSeries reports that a capture window held no series at all.
+// Callers that slide windows over a live store treat it as "waiting for
+// data" rather than a pipeline failure: a window can legitimately be
+// empty when ingest has not reached it yet, or when every series in it
+// is filtered out of analysis (e.g. the server's reserved
+// self-telemetry component).
+var ErrNoSeries = errors.New("core: capture produced no series")
+
 // Dataset is the captured observation of one load run: every metric as a
 // regular time series plus the call graph.
 type Dataset struct {
@@ -214,7 +222,7 @@ func DatasetFromDB(db tsdb.ReadStore, appName string, stepMS, start, end int64) 
 		}
 	}
 	if len(ds.Series) == 0 {
-		return nil, errors.New("core: capture produced no series")
+		return nil, ErrNoSeries
 	}
 	return ds, nil
 }

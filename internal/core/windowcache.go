@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -335,7 +334,7 @@ func (c *WindowCache) assemble() (*Dataset, error) {
 		ds.Series[r.component][r.metric] = reg
 	}
 	if len(ds.Series) == 0 {
-		return nil, errors.New("core: capture produced no series")
+		return nil, ErrNoSeries
 	}
 	return ds, nil
 }

@@ -4,12 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"time"
 
 	"github.com/sieve-microservices/sieve/internal/callgraph"
 	"github.com/sieve-microservices/sieve/internal/core"
 	"github.com/sieve-microservices/sieve/internal/granger"
+	"github.com/sieve-microservices/sieve/internal/telemetry"
 )
 
 // ErrNoData reports that the store does not yet hold enough data to
@@ -168,11 +169,28 @@ func (s *Server) pipelineWindow(hi int64) (lo, end int64, err error) {
 // Options.WarmStart — clustering is seeded from the previous cycle's
 // assignments, skipping the silhouette sweep while quality holds.
 func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
+	sp := s.tel.opCycle.Start()
+	info, err := s.runPipelineOnce(ctx, &sp)
+	// Health stamps for /healthz: a completed cycle and an ErrNoData
+	// skip both prove the loop is alive (the window just has not filled
+	// on the latter); only silence stalls the readiness check.
+	now := time.Now().UnixNano()
+	switch {
+	case err == nil:
+		s.lastCycleNS.Store(now)
+	case errors.Is(err, ErrNoData):
+		s.lastNoDataNS.Store(now)
+	}
+	sp.End()
+	return info, err
+}
+
+func (s *Server) runPipelineOnce(ctx context.Context, sp *telemetry.Span) (*RunInfo, error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	started := time.Now()
 
-	hi := s.store.MaxTime()
+	hi := s.analysisMaxTime()
 	if hi == 0 {
 		return nil, fmt.Errorf("%w: store is empty", ErrNoData)
 	}
@@ -196,17 +214,23 @@ func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 	var ds *core.Dataset
 	if s.online.cache != nil {
 		var ast core.AdvanceStats
-		ds, ast, err = s.online.cache.Advance(s.store, lo, end)
+		ds, ast, err = s.online.cache.Advance(s.analysis, lo, end)
 		info.Assembly = &ast
 		if ast.FullRebuild {
 			s.fullRebuilds.Add(1)
 		}
 		s.tailQueries.Add(int64(ast.TailQueries))
 	} else {
-		ds, err = core.DatasetFromDB(s.store, s.opts.AppName, s.opts.StepMS, lo, end)
+		ds, err = core.DatasetFromDB(s.analysis, s.opts.AppName, s.opts.StepMS, lo, end)
 	}
 	info.Stages.Assemble = time.Since(stage)
 	if err != nil {
+		if errors.Is(err, core.ErrNoSeries) {
+			// The window held nothing analyzable — ingest has not reached
+			// it, or everything in it is filtered out (the reserved
+			// self-telemetry component). That is waiting, not failing.
+			return nil, fmt.Errorf("%w: window holds no analyzable series", ErrNoData)
+		}
 		return nil, s.recordErr(fmt.Errorf("assembling window dataset: %w", err))
 	}
 	ds.CallGraph = s.snapshotGraph()
@@ -262,6 +286,29 @@ func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 	info.Clusters = red.TotalAfter()
 	info.Edges = len(graph.Edges)
 
+	// Lift the run's breakdown into the telemetry registry and the
+	// cycle span (the span only materializes if the cycle crossed the
+	// slow-op threshold).
+	s.tel.cycleSeconds.Observe(info.Elapsed.Seconds())
+	s.tel.assembleSeconds.Observe(info.Stages.Assemble.Seconds())
+	s.tel.reduceSeconds.Observe(info.Stages.Reduce.Seconds())
+	s.tel.depsSeconds.Observe(info.Stages.Deps.Seconds())
+	s.tel.marshalSeconds.Observe(info.Stages.Marshal.Seconds())
+	s.tel.pipelineRuns.Inc()
+	if info.ForcedFullRecompute {
+		s.tel.forcedRecomputes.Inc()
+	}
+	s.tel.grangerHits.Add(uint64(info.GrangerCacheHits))
+	s.tel.grangerMisses.Add(uint64(info.GrangerCacheMisses))
+	sp.Stage("assemble", info.Stages.Assemble)
+	sp.Stage("reduce", info.Stages.Reduce)
+	sp.Stage("deps", info.Stages.Deps)
+	sp.Stage("marshal", info.Stages.Marshal)
+	sp.FieldInt("generation", info.Generation)
+	sp.FieldInt("series", int64(info.Series))
+	sp.FieldInt("clusters", int64(info.Clusters))
+	sp.FieldInt("edges", int64(info.Edges))
+
 	// The autoscaling signal only changes when the artifact does;
 	// compute it once here instead of on every /artifact poll.
 	metric, relations := graph.MostFrequentMetric()
@@ -281,8 +328,13 @@ func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 		// Mirror the durable store's checkpoint health reporting: log
 		// once per state change, with the stage breakdown so the
 		// recovery cycle's cost is attributable.
-		log.Printf("server: pipeline recovered (gen %d, window [%d,%d), %s)",
-			info.Generation, lo, end, info.Stages)
+		slog.Info("pipeline recovered",
+			"generation", info.Generation,
+			"window_start_ms", lo, "window_end_ms", end,
+			"assemble", info.Stages.Assemble.Round(time.Microsecond),
+			"reduce", info.Stages.Reduce.Round(time.Microsecond),
+			"deps", info.Stages.Deps.Round(time.Microsecond),
+			"marshal", info.Stages.Marshal.Round(time.Microsecond))
 	}
 	return &info, nil
 }
@@ -295,6 +347,9 @@ func (s *Server) RunPipelineOnce(ctx context.Context) (*RunInfo, error) {
 // lastErr but never flips the failing state or logs.
 func (s *Server) recordErr(err error) error {
 	canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if !canceled {
+		s.tel.pipelineFailures.Inc()
+	}
 	s.mu.Lock()
 	s.lastErr = err.Error()
 	transition := !canceled && !s.runFailing
@@ -303,7 +358,8 @@ func (s *Server) recordErr(err error) error {
 	}
 	s.mu.Unlock()
 	if transition {
-		log.Printf("server: pipeline failing (kept serving last artifact): %v", err)
+		slog.Error("pipeline failing, kept serving last artifact",
+			"generation", s.generation.Load(), "err", err)
 	}
 	return err
 }
@@ -311,8 +367,13 @@ func (s *Server) recordErr(err error) error {
 // Start launches the background driver: one pipeline run every
 // opts.Interval until ctx is done. ErrNoData ticks are silently skipped
 // (the window just has not filled yet); other errors are kept for
-// /stats. Start returns immediately.
+// /stats. With Options.SelfScrapeInterval it also starts the
+// self-scrape loop. Start returns immediately.
 func (s *Server) Start(ctx context.Context) {
+	s.driverStartNS.CompareAndSwap(0, time.Now().UnixNano())
+	if s.selfScrapeEnabled() {
+		go s.selfScrapeLoop(ctx)
+	}
 	go func() {
 		ticker := time.NewTicker(s.opts.Interval)
 		defer ticker.Stop()

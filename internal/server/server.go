@@ -110,6 +110,28 @@ type Options struct {
 	// (default 60s; negative disables it, leaving checkpoints to
 	// shutdown). Only meaningful with DataDir.
 	FlushInterval time.Duration
+
+	// SelfScrapeInterval, when positive, makes Start also run the
+	// self-scrape loop: every interval the server flattens its own
+	// telemetry registry and writes it into its own store under the
+	// reserved "sieve" component, through the same ingest path as
+	// application data — so sieved's health history is queryable via
+	// /query_range?component=sieve and durable under DataDir. While
+	// enabled, /write rejects the reserved component and the online
+	// pipeline's analysis surface filters it out (artifacts are
+	// unchanged). Zero or negative disables the loop.
+	SelfScrapeInterval time.Duration
+	// SelfScrapeClock stamps self-scrape samples in ingest-time ms
+	// (default time.Now().UnixMilli). The pipeline window anchors to
+	// /write-ingested data regardless of this clock (see
+	// analysisMaxTime), so skew against application timestamps only
+	// moves where the telemetry series land on the time axis; tests
+	// inject a deterministic counter.
+	SelfScrapeClock func() int64
+	// SlowOpThreshold is the latency above which a request or pipeline
+	// cycle is retained in the /debug/traces ring and logged once per
+	// fast->slow transition (default 1s; negative disables tracing).
+	SlowOpThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +152,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
+	}
+	if o.SelfScrapeClock == nil {
+		o.SelfScrapeClock = func() int64 { return time.Now().UnixMilli() }
+	}
+	if o.SlowOpThreshold == 0 {
+		o.SlowOpThreshold = time.Second
 	}
 	if o.Reduce == nil {
 		d := core.DefaultReduceOptions()
@@ -153,6 +181,28 @@ type Server struct {
 	opts  Options
 	store *tsdb.Sharded
 	mux   *http.ServeMux
+
+	// tel is the self-observability bundle (registry, instruments,
+	// trace ring); always non-nil after New.
+	tel *telemetrySet
+	// analysis is the read surface the online pipeline assembles
+	// datasets from: the store itself, or (with self-scrape enabled)
+	// a view of it that filters out the reserved telemetry component.
+	analysis tsdb.ReadStore
+	// appMaxTime is the high-water mark of /write-ingested application
+	// data (ms). With self-scrape enabled the store's own MaxTime is
+	// dragged forward by wall-clock telemetry writes that analysis
+	// filters out, so the pipeline window anchors here instead (see
+	// analysisMaxTime). Seeded from the store at New for recovered data.
+	appMaxTime atomic.Int64
+
+	// Health stamps for /healthz readiness (unix nanos): when the
+	// background driver started, the last completed cycle, and the last
+	// ErrNoData skip (the window not having filled is "waiting", not
+	// "stalled").
+	driverStartNS atomic.Int64
+	lastCycleNS   atomic.Int64
+	lastNoDataNS  atomic.Int64
 
 	// Ingest counters (atomics: the write path must not serialize).
 	writes      atomic.Int64
@@ -221,6 +271,20 @@ func New(opts Options) (*Server, error) {
 		store: store,
 		graph: opts.CallGraph,
 	}
+	// Wire self-observability before the store can serve traffic:
+	// SetTelemetry is only safe pre-serving, and handlers reach the
+	// instruments through s.tel without nil checks.
+	s.tel = newTelemetrySet(store, opts.SlowOpThreshold)
+	store.SetTelemetry(s.tel.storeTel)
+	if opts.SelfScrapeInterval > 0 {
+		s.analysis = analysisStore{st: store}
+		// Anchor the pipeline window at the recovered data's high-water
+		// mark; later /write batches advance it (self-scrape writes do
+		// not — see analysisMaxTime).
+		s.appMaxTime.Store(store.MaxTime())
+	} else {
+		s.analysis = store
+	}
 	// The incremental engine's carried state. It lives only in memory:
 	// after a restart the caches start cold and the first cycle goes
 	// through the full-rebuild path against the recovered store.
@@ -239,6 +303,10 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /artifact", s.handleArtifact)
 	mux.HandleFunc("POST /callgraph", s.handleCallGraph)
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux = mux
 	return s, nil
 }
@@ -268,7 +336,30 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeErrorBody mirrors the historical /write error shape: the stored
+// count in header and body alongside the error. A multi-shard durable
+// store can fail partially: n samples were stored before the error. The
+// stored subset is hash-routed, not a payload prefix, so resending any
+// of the payload duplicates points — reconcile via /query.
+func writeErrorBody(w http.ResponseWriter, status, stored int, err error) {
+	w.Header().Set("X-Sieve-Samples", strconv.Itoa(stored))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "stored": stored})
+}
+
+// handleWrite parses the payload itself (rather than delegating to
+// store.Write) so rejects are classified — parser vs reserved component
+// vs storage — before anything is stored. IngestParsed keeps the
+// storage and accounting semantics identical to Write (pinned by
+// TestIngestParsedMatchesWrite in internal/tsdb).
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.tel.opWrite.Start()
+	defer func() {
+		s.tel.writeSeconds.ObserveSince(start)
+		sp.End()
+	}()
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
 	if err != nil {
 		s.writeErrors.Add(1)
@@ -285,29 +376,53 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty body")
 		return
 	}
-	n, err := s.store.Write(body)
+	sp.FieldInt("bytes", int64(len(body)))
+	samples, err := tsdb.ParseLineProtocol(body)
 	if err != nil {
+		// Parse errors are the client's (400); nothing was stored.
+		s.writeErrors.Add(1)
+		s.tel.parseRejects.Inc()
+		writeErrorBody(w, http.StatusBadRequest, 0, err)
+		return
+	}
+	var batchMaxT int64
+	if s.selfScrapeEnabled() {
+		for i := range samples {
+			if samples[i].Component == ReservedComponent {
+				s.writeErrors.Add(1)
+				s.tel.reservedRejects.Inc()
+				httpError(w, http.StatusBadRequest,
+					"component %q is reserved for self-telemetry while self-scrape is enabled", ReservedComponent)
+				return
+			}
+			if samples[i].T > batchMaxT {
+				batchMaxT = samples[i].T
+			}
+		}
+	}
+	n, err := s.store.IngestParsed(samples, len(body), start)
+	sp.FieldInt("samples", int64(n))
+	if err != nil {
+		// Storage errors are ours (500), even when nothing was stored —
+		// a full disk must not read as "malformed payload" to a client
+		// that drops 4xx as permanent.
 		s.writeErrors.Add(1)
 		s.samples.Add(int64(n))
-		// Parse errors are the client's (400); storage errors are ours
-		// (500), even when nothing was stored — a full disk must not read
-		// as "malformed payload" to a client that drops 4xx as permanent.
-		// A multi-shard durable store can also fail partially: n samples
-		// were stored before the error, surfaced in header and body. The
-		// stored subset is hash-routed, not a payload prefix, so resending
-		// any of the payload duplicates points — reconcile via /query.
-		w.Header().Set("X-Sieve-Samples", strconv.Itoa(n))
+		s.tel.ingestSamples.Add(uint64(n))
 		status := http.StatusBadRequest
 		if errors.Is(err, tsdb.ErrStorage) {
 			status = http.StatusInternalServerError
+			s.tel.storageErrors.Inc()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "stored": n})
+		writeErrorBody(w, status, n, err)
 		return
 	}
 	s.writes.Add(1)
 	s.samples.Add(int64(n))
+	s.tel.ingestSamples.Add(uint64(n))
+	if s.selfScrapeEnabled() {
+		s.advanceAppMaxTime(batchMaxT)
+	}
 	w.Header().Set("X-Sieve-Samples", strconv.Itoa(n))
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -320,8 +435,16 @@ type QueryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.tel.opQuery.Start()
+	defer func() {
+		s.tel.querySeconds.ObserveSince(start)
+		sp.End()
+	}()
 	q := r.URL.Query()
 	component, metric := q.Get("component"), q.Get("metric")
+	sp.Field("component", component)
+	sp.Field("metric", metric)
 	if component == "" || metric == "" {
 		httpError(w, http.StatusBadRequest, "component and metric query parameters are required")
 		return
@@ -376,6 +499,9 @@ type QueryRangeResponse struct {
 // empty match is a 200 with no results — a matcher that matches nothing
 // is an answer, not an error.
 func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.tel.opRange.Start()
+	defer sp.End()
 	p := r.URL.Query()
 	q, err := tsdb.ParseRangeQuery(
 		p.Get("component"), p.Get("metric"),
@@ -387,8 +513,26 @@ func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Latency split by evaluation strategy: push-down aggregations
+	// (min/max/count/rate) ride chunk summaries, sum/avg must decode,
+	// raw reads stream points out. The split makes "queries got slow"
+	// attributable to the path that regressed.
+	defer func() {
+		switch q.Agg {
+		case tsdb.AggNone:
+			s.tel.rangeRaw.ObserveSince(start)
+		case tsdb.AggSum, tsdb.AggAvg:
+			s.tel.rangeDecode.ObserveSince(start)
+		default:
+			s.tel.rangePushdown.ObserveSince(start)
+		}
+	}()
+	sp.Field("component", q.Component)
+	sp.Field("metric", q.Metric)
+	sp.Field("agg", q.Agg.String())
 	q.Parallelism = s.opts.QueryParallelism
 	results, err := s.store.QueryRange(r.Context(), q)
+	sp.FieldInt("results", int64(len(results)))
 	if err != nil {
 		if r.Context().Err() != nil {
 			httpError(w, http.StatusServiceUnavailable, "%v", err)

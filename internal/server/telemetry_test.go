@@ -1,0 +1,464 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/app"
+	"github.com/sieve-microservices/sieve/internal/loadgen"
+	"github.com/sieve-microservices/sieve/internal/telemetry"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// obsOptions is the observability-suite server baseline: batch pipeline
+// over the chain topology with self-scrape enabled under an injected
+// deterministic clock (wall-clock skew is exercised separately by
+// TestSelfScrapeWallClockSkew).
+func obsOptions(clock func() int64) Options {
+	return Options{
+		AppName:            "chain",
+		WindowMS:           50 * 500,
+		MinWindowSamples:   32,
+		CallGraph:          chainGraph(),
+		SelfScrapeInterval: time.Hour, // enables the contract; no loop without Start
+		SelfScrapeClock:    clock,
+	}
+}
+
+func getBody(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestMetricsExpositionLints pins the /metrics contract: the body
+// parses as valid Prometheus 0.0.4 text exposition (the same validator
+// CI's exposition-format gate uses), carries the versioned content
+// type, and includes instruments from every layer.
+func TestMetricsExpositionLints(t *testing.T) {
+	var ts atomic.Int64
+	s, hs, c := newTestServer(t, obsOptions(func() int64 { return ts.Add(1) }))
+	a, err := app.New(chainSpec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveChunk(t, a, c, loadgen.Random(5, 60, 100, 1500))
+	if _, err := s.RunPipelineOnce(context.Background()); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if _, err := s.SelfScrapeOnce(); err != nil {
+		t.Fatalf("self-scrape: %v", err)
+	}
+
+	status, hdr, body := getBody(t, hs.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if err := telemetry.Lint(body); err != nil {
+		t.Fatalf("exposition failed lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"sieve_http_write_seconds_bucket",
+		"sieve_ingest_samples_total",
+		"sieve_query_range_raw_seconds",
+		"sieve_pipeline_cycle_seconds_count",
+		"sieve_store_points",
+		"sieve_selfscrape_samples_total",
+		"sieve_query_chunks_decoded_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestSelfScrapeEquivalence is the dogfooding pin: with the scrape
+// clock held below the application data's high-water mark, enabling
+// telemetry + self-scrape changes neither the published artifact bytes
+// nor the /query_range response bytes of any non-sieve series, while
+// sieved's own series become queryable under the reserved component.
+func TestSelfScrapeEquivalence(t *testing.T) {
+	const seed = 7
+	pattern := loadgen.Random(seed, 70, 100, 1500)
+	base := Options{
+		AppName: "chain", WindowMS: 50 * 500, MinWindowSamples: 32,
+		CallGraph: chainGraph(),
+	}
+
+	plain, plainHTTP, cPlain := newTestServer(t, base)
+	var ts atomic.Int64
+	obs, obsHTTP, cObs := newTestServer(t, obsOptions(func() int64 { return ts.Add(1) }))
+
+	// Identical byte streams: the app simulator is deterministic by seed.
+	for _, d := range []struct {
+		c *Client
+	}{{cPlain}, {cObs}} {
+		a, err := app.New(chainSpec(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveChunk(t, a, d.c, pattern)
+	}
+
+	// Scrapes land before and after the cycle; all at tiny timestamps.
+	for i := 0; i < 2; i++ {
+		if _, err := obs.SelfScrapeOnce(); err != nil {
+			t.Fatalf("self-scrape %d: %v", i, err)
+		}
+	}
+	if _, err := plain.RunPipelineOnce(context.Background()); err != nil {
+		t.Fatalf("plain pipeline: %v", err)
+	}
+	if _, err := obs.RunPipelineOnce(context.Background()); err != nil {
+		t.Fatalf("observed pipeline: %v", err)
+	}
+	if _, err := obs.SelfScrapeOnce(); err != nil {
+		t.Fatalf("post-run self-scrape: %v", err)
+	}
+
+	if got, want := marshaledArtifact(t, obs), marshaledArtifact(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("self-scrape changed the artifact (%d vs %d bytes)", len(got), len(want))
+	}
+	for _, q := range []string{
+		"/query_range?component=lb*",
+		"/query_range?component=api*&metric=api_rate*",
+		"/query_range?component=db*&agg=max&step=5000",
+		"/query_range?component=lb*&agg=avg&step=2500",
+	} {
+		_, _, a := getBody(t, plainHTTP.URL+q)
+		_, _, b := getBody(t, obsHTTP.URL+q)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("self-scrape changed %s bytes:\nplain: %s\nobs:   %s", q, a, b)
+		}
+	}
+
+	// The dogfooded series exist under the reserved component...
+	results, err := cObs.QueryRange(tsdb.RangeQuery{Component: "sieve", Metric: "*", From: 0, To: 1 << 40})
+	if err != nil {
+		t.Fatalf("querying sieve component: %v", err)
+	}
+	found := map[string]bool{}
+	for _, r := range results {
+		found[r.Metric] = true
+	}
+	for _, want := range []string{"http_write_seconds_count", "ingest_samples_total", "store_points"} {
+		if !found[want] {
+			t.Fatalf("self-scrape wrote no sieve/%s series (got %d series)", want, len(results))
+		}
+	}
+
+	// ...and /write rejects the reserved component only while self-scrape
+	// is enabled.
+	payload := tsdb.EncodeLineProtocol([]tsdb.Sample{{Component: "sieve", Metric: "x", T: 100, V: 1}})
+	resp, err := http.Post(obsHTTP.URL+"/write", "text/plain", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reserved write on observed server: status = %d, want 400", resp.StatusCode)
+	}
+	if n, err := cPlain.Write(payload); err != nil || n != 1 {
+		t.Fatalf("reserved component should be writable without self-scrape: n=%d err=%v", n, err)
+	}
+}
+
+// TestSelfScrapeWallClockSkew pins the window anchor under realistic
+// skew: self-scrape stamps samples with the wall clock, which runs far
+// ahead of application data ingested at historical timestamps (replays,
+// backfills, simulator feeds). The pipeline window must stay anchored
+// to /write-ingested data — artifact bytes identical to a server
+// without self-scrape — and a store holding nothing but recovered
+// self-telemetry must read as ErrNoData ("waiting"), not a failing
+// pipeline.
+func TestSelfScrapeWallClockSkew(t *testing.T) {
+	const seed = 11
+	pattern := loadgen.Random(seed, 70, 100, 1500)
+	base := Options{
+		AppName: "chain", WindowMS: 50 * 500, MinWindowSamples: 32,
+		CallGraph: chainGraph(),
+	}
+	plain, _, cPlain := newTestServer(t, base)
+	var ts atomic.Int64
+	ts.Store(1_700_000_000_000) // wall-clock ms, ~7 orders above app data
+	obs, _, cObs := newTestServer(t, obsOptions(func() int64 { return ts.Add(1) }))
+
+	for _, c := range []*Client{cPlain, cObs} {
+		a, err := app.New(chainSpec(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveChunk(t, a, c, pattern)
+	}
+	// Scrapes before the cycle drag the raw store's MaxTime to wall
+	// clock; the analysis window must not follow it.
+	if _, err := obs.SelfScrapeOnce(); err != nil {
+		t.Fatalf("self-scrape: %v", err)
+	}
+	if _, err := plain.RunPipelineOnce(context.Background()); err != nil {
+		t.Fatalf("plain pipeline: %v", err)
+	}
+	if _, err := obs.RunPipelineOnce(context.Background()); err != nil {
+		t.Fatalf("observed pipeline with clock skew: %v", err)
+	}
+	if got, want := marshaledArtifact(t, obs), marshaledArtifact(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("wall-clock self-scrape moved the analysis window (artifact %d vs %d bytes)", len(got), len(want))
+	}
+
+	// Second life over a store that only ever held self-telemetry: the
+	// recovered high-water mark is all reserved-component data, so the
+	// window holds nothing analyzable. That is "waiting for data", not a
+	// pipeline failure.
+	dir := t.TempDir()
+	durable := obsOptions(func() int64 { return ts.Add(1) })
+	durable.DataDir = dir
+	first, err := New(durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.SelfScrapeOnce(); err != nil {
+		t.Fatalf("self-scrape: %v", err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := New(durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if _, err := second.RunPipelineOnce(context.Background()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("pipeline over a self-telemetry-only store: err = %v, want ErrNoData", err)
+	}
+}
+
+// TestHealthzReadiness pins the probe semantics: /healthz is always
+// 200 (liveness), /readyz flips to 503 when the online loop goes
+// silent for 3x the interval, and both a completed cycle and an
+// ErrNoData skip count as liveness.
+func TestHealthzReadiness(t *testing.T) {
+	s, hs, _ := newTestServer(t, Options{Interval: time.Second})
+
+	decode := func(body []byte) HealthResponse {
+		var h HealthResponse
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("decoding health body: %v", err)
+		}
+		return h
+	}
+
+	status, _, body := getBody(t, hs.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("/healthz status = %d", status)
+	}
+	h := decode(body)
+	if h.Status != "ok" || !h.Checks["pipeline"].OK || h.Checks["pipeline"].Detail != "driver not started" {
+		t.Fatalf("fresh server health = %+v", h)
+	}
+
+	// Driver started long ago, no cycle since: stalled.
+	s.driverStartNS.Store(time.Now().Add(-time.Minute).UnixNano())
+	status, _, body = getBody(t, hs.URL+"/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("stalled /readyz status = %d, want 503", status)
+	}
+	if h = decode(body); h.Status != "degraded" || h.Checks["pipeline"].OK {
+		t.Fatalf("stalled health = %+v", h)
+	}
+	// Liveness is unaffected.
+	if status, _, _ = getBody(t, hs.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("stalled /healthz status = %d, want 200", status)
+	}
+
+	// A completed cycle refreshes readiness.
+	s.lastCycleNS.Store(time.Now().UnixNano())
+	if status, _, _ = getBody(t, hs.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz after cycle = %d, want 200", status)
+	}
+
+	// So does an ErrNoData skip: an unfilled window is waiting, not
+	// stalled.
+	s.lastCycleNS.Store(0)
+	s.lastNoDataNS.Store(time.Now().UnixNano())
+	if status, _, _ = getBody(t, hs.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz after ErrNoData = %d, want 200", status)
+	}
+
+	// The real path sets the stamps too: RunPipelineOnce on an empty
+	// store is an ErrNoData skip.
+	s.lastNoDataNS.Store(0)
+	s.driverStartNS.Store(time.Now().Add(-time.Minute).UnixNano())
+	if _, err := s.RunPipelineOnce(context.Background()); err == nil {
+		t.Fatal("pipeline on empty store should fail")
+	}
+	if s.lastNoDataNS.Load() == 0 {
+		t.Fatal("ErrNoData run did not stamp lastNoDataNS")
+	}
+	if status, _, _ = getBody(t, hs.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz after real ErrNoData run = %d, want 200", status)
+	}
+}
+
+// TestDebugTracesRecordsSlowOps drops the slow-op threshold to 1ns so
+// every request is "slow", then pins the /debug/traces contract:
+// slowest-first ordering, the ?n bound, and per-op annotations.
+func TestDebugTracesRecordsSlowOps(t *testing.T) {
+	opts := obsOptions(func() int64 { return 1 })
+	opts.SlowOpThreshold = time.Nanosecond
+	_, hs, c := newTestServer(t, opts)
+
+	payload := tsdb.EncodeLineProtocol([]tsdb.Sample{
+		{Component: "web", Metric: "cpu", T: 1000, V: 0.5},
+		{Component: "web", Metric: "cpu", T: 1500, V: 0.6},
+	})
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryRange(tsdb.RangeQuery{Component: "*", Metric: "*", From: 0, To: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+
+	status, _, body := getBody(t, hs.URL+"/debug/traces")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/traces status = %d", status)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("decoding traces: %v", err)
+	}
+	if tr.Total < 2 || len(tr.Traces) < 2 {
+		t.Fatalf("traces = %d retained / %d total, want >= 2", len(tr.Traces), tr.Total)
+	}
+	ops := map[string]bool{}
+	for i, tc := range tr.Traces {
+		ops[tc.Op] = true
+		if i > 0 && tc.Millis > tr.Traces[i-1].Millis {
+			t.Fatalf("traces not slowest-first at %d: %v then %v", i, tr.Traces[i-1].Millis, tc.Millis)
+		}
+	}
+	if !ops["write"] || !ops["query_range"] {
+		t.Fatalf("traced ops = %v, want write and query_range", ops)
+	}
+	var wrote *telemetry.Trace
+	for _, tc := range tr.Traces {
+		if tc.Op == "write" {
+			wrote = tc
+			break
+		}
+	}
+	fields := map[string]string{}
+	for _, f := range wrote.Fields {
+		fields[f.Key] = f.Value
+	}
+	if fields["samples"] != "2" {
+		t.Fatalf("write trace fields = %v, want samples=2", fields)
+	}
+
+	status, _, body = getBody(t, hs.URL+"/debug/traces?n=1")
+	if err := json.Unmarshal(body, &tr); err != nil || status != http.StatusOK {
+		t.Fatalf("traces?n=1: status %d err %v", status, err)
+	}
+	if len(tr.Traces) != 1 {
+		t.Fatalf("traces?n=1 returned %d", len(tr.Traces))
+	}
+	if status, _, _ = getBody(t, hs.URL+"/debug/traces?n=bogus"); status != http.StatusBadRequest {
+		t.Fatalf("traces?n=bogus status = %d, want 400", status)
+	}
+}
+
+// TestTelemetryConcurrentAccess hammers every observability surface at
+// once — ingest, /metrics exposition, self-scrape writes, pipeline
+// cycles, /debug/traces and /healthz readers — and then lints the
+// final exposition. Run under -race in CI, this is the pin that the
+// atomic instruments, the trace ring, and the health stamps are safe
+// against the server's real concurrency.
+func TestTelemetryConcurrentAccess(t *testing.T) {
+	var ts atomic.Int64
+	opts := obsOptions(func() int64 { return ts.Add(1) })
+	opts.MinWindowSamples = 8
+	opts.SlowOpThreshold = time.Nanosecond
+	s, hs, c := newTestServer(t, opts)
+
+	var tick atomic.Int64
+	writeBatch := func(w int) []byte {
+		base := tick.Add(1) * 500
+		samples := make([]tsdb.Sample, 0, 16)
+		for comp := 0; comp < 4; comp++ {
+			for m := 0; m < 4; m++ {
+				samples = append(samples, tsdb.Sample{
+					Component: fmt.Sprintf("web-%d", comp),
+					Metric:    fmt.Sprintf("m%d", m),
+					T:         base,
+					V:         float64((int(base/500)*7+comp*3+m)%13) + 0.25*float64(m),
+				})
+			}
+		}
+		return tsdb.EncodeLineProtocol(samples)
+	}
+	// Pre-fill so pipeline cycles have a window to chew on.
+	for i := 0; i < 32; i++ {
+		if _, err := c.Write(writeBatch(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	run := func(n int, fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		w := w
+		run(40, func(i int) {
+			if _, err := c.Write(writeBatch(w)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	run(20, func(int) { getBody(t, hs.URL+"/metrics") })
+	run(20, func(int) {
+		if _, err := s.SelfScrapeOnce(); err != nil {
+			t.Error(err)
+		}
+	})
+	run(6, func(int) { _, _ = s.RunPipelineOnce(context.Background()) })
+	run(20, func(int) { getBody(t, hs.URL+"/debug/traces") })
+	run(20, func(int) { getBody(t, hs.URL+"/healthz") })
+	run(10, func(int) {
+		if _, err := c.QueryRange(tsdb.RangeQuery{Component: "web*", Metric: "*", From: 0, To: 1 << 40}); err != nil {
+			t.Error(err)
+		}
+	})
+	wg.Wait()
+
+	_, _, body := getBody(t, hs.URL+"/metrics")
+	if err := telemetry.Lint(body); err != nil {
+		t.Fatalf("post-hammer exposition failed lint: %v", err)
+	}
+}

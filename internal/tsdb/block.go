@@ -312,14 +312,18 @@ func (b *block) readChunk(key string, ref chunkRef) ([]byte, error) {
 // the sink as a summary first (version >= 2 blocks), so an aggregating
 // sink consumes them without a file read; the rest are read, CRC-checked,
 // and streamed through the chunk iterator.
-func (b *block) scan(key string, from, to int64, sink pointSink) error {
+func (b *block) scan(key string, from, to int64, sink pointSink, tel *StoreTelemetry) error {
+	var skipped, summarized, decoded int
 	for _, ref := range b.index[key] {
 		if ref.MaxT < from || ref.MinT >= to {
+			skipped++
 			continue
 		}
 		if b.hasAggs && ref.MinT >= from && ref.MaxT < to && sink.chunk(ref.agg()) {
+			summarized++
 			continue
 		}
+		decoded++
 		payload, err := b.readChunk(key, ref)
 		if err != nil {
 			return err
@@ -328,14 +332,15 @@ func (b *block) scan(key string, from, to int64, sink pointSink) error {
 			return fmt.Errorf("tsdb: block %s: corrupt chunk for %q: %w", b.dir, key, err)
 		}
 	}
+	tel.noteChunks(skipped, summarized, decoded)
 	return nil
 }
 
 // query returns the block's points for key with T in [from, to), reading
 // and CRC-checking only the chunks whose time range overlaps.
-func (b *block) query(key string, from, to int64) ([]Point, error) {
+func (b *block) query(key string, from, to int64, tel *StoreTelemetry) ([]Point, error) {
 	var out rawSink
-	if err := b.scan(key, from, to, &out); err != nil {
+	if err := b.scan(key, from, to, &out, tel); err != nil {
 		return nil, err
 	}
 	return out.pts, nil

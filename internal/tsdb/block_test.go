@@ -36,7 +36,7 @@ func TestBlockWriteQueryRoundtrip(t *testing.T) {
 		t.Errorf("WALCuts not persisted: %v", blk.meta.WALCuts)
 	}
 	for key, want := range series {
-		got, err := blk.query(key, 0, 1<<40)
+		got, err := blk.query(key, 0, 1<<40, nil)
 		if err != nil {
 			t.Fatalf("query %s: %v", key, err)
 		}
@@ -45,7 +45,7 @@ func TestBlockWriteQueryRoundtrip(t *testing.T) {
 		}
 	}
 	// Range query touches only the overlapping chunk.
-	got, err := blk.query("web/cpu", 1000, 2000)
+	got, err := blk.query("web/cpu", 1000, 2000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestBlockChunkCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reblk.close()
-	if _, err := reblk.query("a/b", 0, 1<<40); err == nil {
+	if _, err := reblk.query("a/b", 0, 1<<40, nil); err == nil {
 		t.Fatal("expected CRC error on corrupted chunk")
 	}
 }

@@ -78,19 +78,27 @@ type series struct {
 // as a summary (an aggregating sink may consume them without decoding —
 // see pointSink). Callers own synchronization (a shard lock, or exclusive
 // access to a stolen snapshot).
-func (sr *series) scanRange(from, to int64, sink pointSink) error {
+// tel, when non-nil, receives the scan's chunk-fate counts (skipped /
+// summarized / decoded), accumulated in locals and flushed once at the
+// end so the per-chunk loop never touches an atomic.
+func (sr *series) scanRange(from, to int64, sink pointSink, tel *StoreTelemetry) error {
 	var it chunkIter
+	var skipped, summarized, decoded int
 	for _, c := range sr.chunks {
 		if c.agg.MaxT < from || c.agg.MinT >= to {
+			skipped++
 			continue
 		}
 		if c.agg.MinT >= from && c.agg.MaxT < to && sink.chunk(c.agg) {
+			summarized++
 			continue
 		}
+		decoded++
 		if err := scanChunkWith(&it, c.data, from, to, sink); err != nil {
 			return err
 		}
 	}
+	tel.noteChunks(skipped, summarized, decoded)
 	for _, p := range sr.tail {
 		if p.T >= from && p.T < to {
 			sink.add(p)
@@ -101,9 +109,9 @@ func (sr *series) scanRange(from, to int64, sink pointSink) error {
 
 // pointsInRange collects the series' points with T in [from, to) in
 // storage order (a rawSink over scanRange).
-func (sr *series) pointsInRange(from, to int64) ([]Point, error) {
+func (sr *series) pointsInRange(from, to int64, tel *StoreTelemetry) ([]Point, error) {
 	var out rawSink
-	if err := sr.scanRange(from, to, &out); err != nil {
+	if err := sr.scanRange(from, to, &out, tel); err != nil {
 		return nil, err
 	}
 	return out.pts, nil
@@ -123,6 +131,10 @@ type DB struct {
 	// OpenSharded, appended to (under mu, before the memory insert) on
 	// the appendSamples path that Sharded routes ingest through.
 	wal *walWriter
+
+	// tel, when non-nil, receives chunk-fate counts from scans; set via
+	// setTelemetry (under mu) before the store serves traffic.
+	tel *StoreTelemetry
 }
 
 // New creates an empty DB.
@@ -332,7 +344,7 @@ func (db *DB) Query(component, metric string, from, to int64) ([]Point, error) {
 	if sr == nil {
 		return nil, fmt.Errorf("%w %q", ErrUnknownSeries, key)
 	}
-	out, err := sr.pointsInRange(from, to)
+	out, err := sr.pointsInRange(from, to, db.tel)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
 	}
@@ -354,7 +366,7 @@ func (db *DB) scanSeries(key string, from, to int64, sink pointSink) error {
 	if sr == nil {
 		return nil
 	}
-	if err := sr.scanRange(from, to, sink); err != nil {
+	if err := sr.scanRange(from, to, sink, db.tel); err != nil {
 		return fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
 	}
 	return nil

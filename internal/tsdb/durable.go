@@ -2,7 +2,7 @@ package tsdb
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -97,6 +97,10 @@ type durable struct {
 	ckptFailures int
 	lastCkptErr  string
 	ckptFailing  bool
+
+	// tel, when non-nil, receives checkpoint/retention/scan instruments;
+	// set via setTelemetry (under mu) before the store serves traffic.
+	tel *StoreTelemetry
 
 	// staleWAL maps shard index -> directory for WAL dirs left over from
 	// a previous life that ran with a higher shard count. Their records
@@ -312,24 +316,30 @@ func (d *durable) flushLoop(s *Sharded) {
 // once per state change (failing -> recovered and back), never per tick.
 func (d *durable) noteCheckpointResult(err error) {
 	d.mu.Lock()
-	var transition string
+	failures := d.ckptFailures
+	var failed, recovered bool
 	if err != nil {
 		d.ckptFailures++
+		failures = d.ckptFailures
 		d.lastCkptErr = err.Error()
 		if !d.ckptFailing {
 			d.ckptFailing = true
-			transition = fmt.Sprintf("tsdb: checkpoint failing (retrying every %s): %v", d.opts.FlushInterval, err)
+			failed = true
 		}
 	} else {
 		d.lastCkptErr = ""
 		if d.ckptFailing {
 			d.ckptFailing = false
-			transition = "tsdb: checkpoint recovered"
+			recovered = true
 		}
 	}
 	d.mu.Unlock()
-	if transition != "" {
-		log.Print(transition)
+	switch {
+	case failed:
+		slog.Error("checkpoint failing, WAL segments accumulating until it recovers",
+			"retry_every", d.opts.FlushInterval, "failures", failures, "err", err)
+	case recovered:
+		slog.Info("checkpoint recovered", "failures_while_down", failures)
 	}
 }
 
@@ -344,7 +354,15 @@ func (d *durable) checkpointStats() (failures int, lastErr string) {
 // counters, whoever triggered it (background flusher, Checkpoint caller,
 // or shutdown).
 func (d *durable) checkpoint(s *Sharded) error {
+	tel := d.telemetry()
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
 	err := d.runCheckpoint(s)
+	if tel != nil {
+		tel.CheckpointSeconds.ObserveSince(start)
+	}
 	d.noteCheckpointResult(err)
 	return err
 }
@@ -419,6 +437,10 @@ func (d *durable) runCheckpoint(s *Sharded) error {
 		d.mu.Lock()
 		d.flushing = nil
 		d.blocks = append(d.blocks, blk)
+		if d.tel != nil {
+			d.tel.CheckpointPoints.Add(uint64(points))
+			d.tel.BlockPublishes.Inc()
+		}
 		d.mu.Unlock()
 	}
 	for i, sh := range s.shards {
@@ -444,7 +466,7 @@ func (d *durable) runCheckpoint(s *Sharded) error {
 func buildBlock(blocksDir string, seq uint64, walCuts map[string]uint64, snap map[string]*series) (*block, error) {
 	series := make(map[string][]Point, len(snap))
 	for key, sr := range snap {
-		pts, err := sr.pointsInRange(math.MinInt64, math.MaxInt64)
+		pts, err := sr.pointsInRange(math.MinInt64, math.MaxInt64, nil)
 		if err != nil {
 			return nil, fmt.Errorf("decoding snapshot of %q: %w", key, err)
 		}
@@ -502,6 +524,9 @@ func (d *durable) enforceRetention(maxTime int64) error {
 		// Keep the Points balance honest: these observations are gone
 		// from the store's view whether or not the files disappear.
 		d.basePoints -= b.meta.Points
+		if d.tel != nil {
+			d.tel.RetentionDroppedBlocks.Inc()
+		}
 		if err := b.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -527,7 +552,7 @@ func (d *durable) queryBlocks(key string, from, to int64) (pts []Point, known bo
 		if b.meta.MaxT < from || b.meta.MinT >= to {
 			continue
 		}
-		got, err := b.query(key, from, to)
+		got, err := b.query(key, from, to, d.tel)
 		if err != nil {
 			return nil, true, err
 		}
@@ -535,7 +560,7 @@ func (d *durable) queryBlocks(key string, from, to int64) (pts []Point, known bo
 	}
 	if sr, ok := d.flushing[key]; ok {
 		known = true
-		mid, err := sr.pointsInRange(from, to)
+		mid, err := sr.pointsInRange(from, to, d.tel)
 		if err != nil {
 			return nil, true, fmt.Errorf("tsdb: corrupt block in flushing %q: %w", key, err)
 		}
@@ -558,12 +583,12 @@ func (d *durable) scanBlocks(key string, from, to int64, sink pointSink) error {
 		if !b.hasSeries(key) {
 			continue
 		}
-		if err := b.scan(key, from, to, sink); err != nil {
+		if err := b.scan(key, from, to, sink, d.tel); err != nil {
 			return err
 		}
 	}
 	if sr, ok := d.flushing[key]; ok {
-		if err := sr.scanRange(from, to, sink); err != nil {
+		if err := sr.scanRange(from, to, sink, d.tel); err != nil {
 			return fmt.Errorf("tsdb: corrupt block in flushing %q: %w", key, err)
 		}
 	}

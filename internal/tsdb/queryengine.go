@@ -520,7 +520,7 @@ func (db *DB) QueryRange(ctx context.Context, q RangeQuery) ([]SeriesResult, err
 			return nil, err
 		}
 		component, metric := splitKey(key)
-		pts, err := scanOneSeries(db.data[key], q)
+		pts, err := scanOneSeries(db.data[key], q, db.tel)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
 		}
@@ -532,9 +532,9 @@ func (db *DB) QueryRange(ctx context.Context, q RangeQuery) ([]SeriesResult, err
 
 // scanOneSeries evaluates one series under the caller's lock: raw points
 // stably sorted by time, or aggregated buckets.
-func scanOneSeries(sr *series, q RangeQuery) ([]Point, error) {
+func scanOneSeries(sr *series, q RangeQuery, tel *StoreTelemetry) ([]Point, error) {
 	if q.Agg == AggNone {
-		pts, err := sr.pointsInRange(q.From, q.To)
+		pts, err := sr.pointsInRange(q.From, q.To, tel)
 		if err != nil {
 			return nil, err
 		}
@@ -542,7 +542,7 @@ func scanOneSeries(sr *series, q RangeQuery) ([]Point, error) {
 		return pts, nil
 	}
 	acc := newAggregator(q.Agg, q.From, q.StepMS)
-	if err := sr.scanRange(q.From, q.To, acc); err != nil {
+	if err := sr.scanRange(q.From, q.To, acc, tel); err != nil {
 		return nil, err
 	}
 	return acc.points(), nil
@@ -685,7 +685,7 @@ func (db *DB) ScanMatch(componentGlob, metricGlob string, from, to int64, begin 
 	sink := visitSink{visit: visit}
 	for i, key := range keys {
 		sink.idx = i
-		if err := db.data[key].scanRange(from, to, &sink); err != nil {
+		if err := db.data[key].scanRange(from, to, &sink, db.tel); err != nil {
 			return fmt.Errorf("tsdb: corrupt block in %q: %w", key, err)
 		}
 	}

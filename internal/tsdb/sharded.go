@@ -161,6 +161,17 @@ func (s *Sharded) WriteSamples(samples []Sample, wireBytes int) error {
 	return err
 }
 
+// IngestParsed is Write for callers that parsed the payload themselves
+// (sieved's /write handler does, so it can count parse rejects and
+// enforce the reserved self-scrape component before anything is
+// stored): identical storage path and partial-failure semantics,
+// returning the stored count. parseStart anchors the ingest-CPU
+// accounting at the moment parsing began, so Stats charges the same
+// work Write would.
+func (s *Sharded) IngestParsed(samples []Sample, wireBytes int, parseStart time.Time) (int, error) {
+	return s.ingest(samples, wireBytes, parseStart)
+}
+
 // Query returns the points of component/metric with T in [from, to): the
 // owning shard's in-memory points merged, on a durable store, with every
 // overlapping persisted block (and any drained set mid-checkpoint).

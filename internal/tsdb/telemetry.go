@@ -1,0 +1,158 @@
+package tsdb
+
+import (
+	"github.com/sieve-microservices/sieve/internal/telemetry"
+)
+
+// StoreTelemetry bundles the instruments the storage engine updates:
+// WAL append/fsync latency, checkpoint duration and drained volume,
+// block publishes and retention drops, and the chunk-level fate split
+// (skipped from the index vs consumed as a summary vs decoded) that
+// explains where query time goes. Every field is optional — the
+// instruments are nil-safe and a nil *StoreTelemetry disables the
+// per-scan counting branch entirely — so an uninstrumented store pays
+// one nil check per scan.
+//
+// Install with Sharded.SetTelemetry BEFORE the store serves traffic
+// (sieved wires it immediately after OpenSharded): installation is
+// ordered against the background tickers by the shard and engine
+// locks, but the instrument set itself is fixed after that point.
+type StoreTelemetry struct {
+	// WALAppendSeconds times successful WAL record appends (encode +
+	// write + inline fsync under FsyncAlways), per batch.
+	WALAppendSeconds *telemetry.Histogram
+	// WALFsyncSeconds times every WAL fsync: the background ticker's
+	// flushes and FsyncAlways's inline syncs.
+	WALFsyncSeconds *telemetry.Histogram
+	// CheckpointSeconds times whole checkpoint runs (cut + block build +
+	// WAL prune + retention), success or failure.
+	CheckpointSeconds *telemetry.Histogram
+	// CheckpointPoints counts points drained from memory into blocks.
+	CheckpointPoints *telemetry.Counter
+	// BlockPublishes counts immutable blocks published by checkpoints.
+	BlockPublishes *telemetry.Counter
+	// RetentionDroppedBlocks counts blocks removed by retention.
+	RetentionDroppedBlocks *telemetry.Counter
+	// ChunksSkipped counts sealed chunks skipped from their index
+	// summary alone (time range disjoint from the query).
+	ChunksSkipped *telemetry.Counter
+	// ChunksSummarized counts chunks consumed by aggregation push-down
+	// without a read or decode.
+	ChunksSummarized *telemetry.Counter
+	// ChunksDecoded counts chunks actually decompressed for a scan.
+	ChunksDecoded *telemetry.Counter
+}
+
+// NewStoreTelemetry creates the storage instrument set on reg under
+// the sieve_ namespace.
+func NewStoreTelemetry(reg *telemetry.Registry) *StoreTelemetry {
+	return &StoreTelemetry{
+		WALAppendSeconds: reg.Histogram("sieve_wal_append_seconds",
+			"WAL record append latency per batch (including inline fsync under -fsync always)", nil),
+		WALFsyncSeconds: reg.Histogram("sieve_wal_fsync_seconds",
+			"WAL fsync latency (background ticker flushes and inline syncs)", nil),
+		CheckpointSeconds: reg.Histogram("sieve_checkpoint_seconds",
+			"checkpoint duration: cut, block build, WAL prune, retention", nil),
+		CheckpointPoints: reg.Counter("sieve_checkpoint_points_total",
+			"points drained from memory into immutable blocks by checkpoints"),
+		BlockPublishes: reg.Counter("sieve_block_publishes_total",
+			"immutable blocks published by checkpoints"),
+		RetentionDroppedBlocks: reg.Counter("sieve_retention_dropped_blocks_total",
+			"blocks removed by retention"),
+		ChunksSkipped: reg.Counter("sieve_query_chunks_skipped_total",
+			"sealed chunks skipped from index summaries (disjoint time range)"),
+		ChunksSummarized: reg.Counter("sieve_query_chunks_summarized_total",
+			"chunks consumed by aggregation push-down without decoding"),
+		ChunksDecoded: reg.Counter("sieve_query_chunks_decoded_total",
+			"chunks decompressed for scans"),
+	}
+}
+
+// noteChunks flushes one scan's chunk-fate counts. Scans accumulate in
+// local ints and flush once here, keeping atomics off the per-chunk
+// loop; nil-safe so uninstrumented scans cost one branch.
+func (t *StoreTelemetry) noteChunks(skipped, summarized, decoded int) {
+	if t == nil {
+		return
+	}
+	t.ChunksSkipped.Add(uint64(skipped))
+	t.ChunksSummarized.Add(uint64(summarized))
+	t.ChunksDecoded.Add(uint64(decoded))
+}
+
+// SetTelemetry installs the instrument set on the store: the shards
+// (chunk-scan counting), their WALs (append/fsync latency), and the
+// durable engine (checkpoint/retention counters). Call once, before
+// the store serves reads or writes.
+func (s *Sharded) SetTelemetry(t *StoreTelemetry) {
+	for _, sh := range s.shards {
+		sh.setTelemetry(t)
+	}
+	if s.dur != nil {
+		s.dur.setTelemetry(t)
+	}
+}
+
+func (db *DB) setTelemetry(t *StoreTelemetry) {
+	db.mu.Lock()
+	db.tel = t
+	db.mu.Unlock()
+	if db.wal != nil {
+		var appendH, syncH *telemetry.Histogram
+		if t != nil {
+			appendH, syncH = t.WALAppendSeconds, t.WALFsyncSeconds
+		}
+		db.wal.setTelemetry(appendH, syncH)
+	}
+}
+
+func (d *durable) setTelemetry(t *StoreTelemetry) {
+	d.mu.Lock()
+	d.tel = t
+	d.mu.Unlock()
+}
+
+// telemetry reads the engine's instrument set under the lock that
+// orders it against setTelemetry.
+func (d *durable) telemetry() *StoreTelemetry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tel
+}
+
+// WALSegments reports the live WAL segment count across shards (0 for
+// an in-memory store) — the backlog gauge: a growing count with a
+// failing checkpoint means segments are accumulating unboundedly.
+func (s *Sharded) WALSegments() int {
+	if s.dur == nil {
+		return 0
+	}
+	var n int
+	for _, sh := range s.shards {
+		n += sh.wal.segmentCount()
+	}
+	return n
+}
+
+// WALSizeBytes reports the bytes held by live WAL segments across
+// shards (0 for an in-memory store).
+func (s *Sharded) WALSizeBytes() int64 {
+	if s.dur == nil {
+		return 0
+	}
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.wal.sizeBytes()
+	}
+	return n
+}
+
+// BlockCount reports the number of published immutable blocks (0 for
+// an in-memory store).
+func (s *Sharded) BlockCount() int {
+	if s.dur == nil {
+		return 0
+	}
+	_, _, count := s.dur.diskStats()
+	return count
+}

@@ -11,6 +11,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/telemetry"
 )
 
 // FsyncPolicy controls when WAL appends are forced to stable storage.
@@ -173,6 +176,44 @@ type walWriter struct {
 	// would otherwise resurrect the failed write.
 	pendingTrunc bool
 	buf          []byte // encode scratch, reused across appends
+
+	// appendHist/syncHist, when non-nil, time successful appends and
+	// fsyncs. Set via setTelemetry (under mu, before traffic) and read
+	// only under mu, so installation is ordered against the fsync
+	// ticker.
+	appendHist *telemetry.Histogram
+	syncHist   *telemetry.Histogram
+
+	// segments counts live segment files (older retained ones plus the
+	// open one), maintained by roll/remove so the gauge needs no readdir.
+	segments int
+}
+
+// setTelemetry installs the append/fsync latency histograms.
+func (w *walWriter) setTelemetry(appendH, syncH *telemetry.Histogram) {
+	w.mu.Lock()
+	w.appendHist = appendH
+	w.syncHist = syncH
+	w.mu.Unlock()
+}
+
+// segmentCount reports the number of live segment files.
+func (w *walWriter) segmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.segments
+}
+
+// syncFileLocked fsyncs the open segment, timing it when instrumented.
+// Caller holds w.mu.
+func (w *walWriter) syncFileLocked() error {
+	if w.syncHist == nil {
+		return w.f.Sync()
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	w.syncHist.ObserveSince(start)
+	return err
 }
 
 // openWALWriter opens dir (creating it) and starts a fresh segment after
@@ -196,7 +237,7 @@ func openWALWriter(dir string, policy FsyncPolicy, segMax int64) (*walWriter, er
 			retained += fi.Size()
 		}
 	}
-	w := &walWriter{dir: dir, policy: policy, segMax: segMax, seq: next, retained: retained}
+	w := &walWriter{dir: dir, policy: policy, segMax: segMax, seq: next, retained: retained, segments: len(seqs) + 1}
 	if w.f, err = w.create(next); err != nil {
 		return nil, err
 	}
@@ -227,6 +268,10 @@ func (w *walWriter) append(samples []Sample) error {
 	if err := w.clearPendingTruncLocked(); err != nil {
 		return err
 	}
+	var start time.Time
+	if w.appendHist != nil {
+		start = time.Now()
+	}
 	w.buf = w.buf[:0]
 	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
 	w.buf = appendWALSamples(w.buf, samples)
@@ -249,7 +294,7 @@ func (w *walWriter) append(samples []Sample) error {
 		return fmt.Errorf("tsdb: wal append: %w", err)
 	}
 	if w.policy == FsyncAlways {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncFileLocked(); err != nil {
 			// The batch is rejected: it never reaches memory and the
 			// client sees an error. Cut the record back out of the segment
 			// so a later replay cannot resurrect a write the client was
@@ -266,6 +311,9 @@ func (w *walWriter) append(samples []Sample) error {
 		w.dirty = true
 	}
 	w.size += int64(len(w.buf))
+	if w.appendHist != nil {
+		w.appendHist.ObserveSince(start)
+	}
 	return nil
 }
 
@@ -307,6 +355,7 @@ func (w *walWriter) rollLocked() error {
 		return err
 	}
 	w.f = f
+	w.segments++
 	return nil
 }
 
@@ -332,7 +381,7 @@ func (w *walWriter) sync() error {
 	if !w.dirty {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncFileLocked(); err != nil {
 		w.syncErr = err
 		return err
 	}
@@ -361,6 +410,7 @@ func (w *walWriter) removeSegmentsBelow(seq uint64) error {
 		if err := os.Remove(path); err != nil {
 			return err
 		}
+		w.segments--
 	}
 	if w.retained < 0 {
 		w.retained = 0

@@ -1,0 +1,219 @@
+package sieve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/telemetry"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// obsRow is one BENCH_obs.json entry. OverheadPct is only set on the
+// instrumented half of a base/telemetry pair: the ns/op delta against
+// the base, as a percentage (the budget is <= 2%).
+type obsRow struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	OverheadPct *float64 `json:"overhead_pct,omitempty"`
+}
+
+var obsBench struct {
+	sync.Mutex
+	rows map[string]obsRow
+}
+
+func putObsRow(r obsRow) {
+	obsBench.Lock()
+	defer obsBench.Unlock()
+	if obsBench.rows == nil {
+		obsBench.rows = map[string]obsRow{}
+	}
+	obsBench.rows[r.Name] = r
+}
+
+// flushObsJSON rewrites BENCH_obs.json from the accumulated rows,
+// computing the telemetry-overhead percentages for the ingest and query
+// pairs. Rows are emitted in fixed case order.
+func flushObsJSON(order []string) {
+	obsBench.Lock()
+	defer obsBench.Unlock()
+	for _, pair := range [][2]string{
+		{"ingest-base", "ingest-telemetry"},
+		{"query-base", "query-telemetry"},
+	} {
+		base, okB := obsBench.rows[pair[0]]
+		instr, okI := obsBench.rows[pair[1]]
+		if !okB || !okI || base.NsPerOp <= 0 {
+			continue
+		}
+		pct := (instr.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		instr.OverheadPct = &pct
+		obsBench.rows[pair[1]] = instr
+	}
+	var rows []obsRow
+	for _, name := range order {
+		if r, ok := obsBench.rows[name]; ok {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := struct {
+		Benchmark  string   `json:"benchmark"`
+		GoMaxProcs int      `json:"gomaxprocs"`
+		GoVersion  string   `json:"go_version"`
+		Results    []obsRow `json:"results"`
+	}{
+		Benchmark:  "BenchmarkTelemetry",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Results:    rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644)
+}
+
+// obsSealedStore builds a sealed 32-series store for the query pair:
+// enough points per series that QueryRange walks real chunks.
+func obsSealedStore(b *testing.B, tel *tsdb.StoreTelemetry) *tsdb.Sharded {
+	b.Helper()
+	s := tsdb.NewSharded(4)
+	if tel != nil {
+		s.SetTelemetry(tel)
+	}
+	samples := make([]tsdb.Sample, 0, 2048)
+	for c := 0; c < 8; c++ {
+		for m := 0; m < 4; m++ {
+			samples = samples[:0]
+			for p := 0; p < 2048; p++ {
+				samples = append(samples, tsdb.Sample{
+					Component: fmt.Sprintf("comp-%d", c),
+					Metric:    fmt.Sprintf("metric_%d", m),
+					T:         int64(p) * 500,
+					V:         float64((p*7+c*3+m)%17) + 0.25*float64(m),
+				})
+			}
+			if err := s.WriteSamples(samples, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s.Flush()
+	return s
+}
+
+// BenchmarkTelemetry measures the self-observability layer: raw
+// instrument update costs (the 0 allocs/op contract — also pinned
+// hard by allocation tests in internal/telemetry), the fast-path span,
+// and the end-to-end overhead telemetry adds to WAL-backed ingest and
+// to chunk-counted query reads (budget: <= 2%). Results are written to
+// BENCH_obs.json.
+func BenchmarkTelemetry(b *testing.B) {
+	order := []string{
+		"counter-inc", "gauge-set", "histogram-observe", "span-fast-path",
+		"ingest-base", "ingest-telemetry", "query-base", "query-telemetry",
+	}
+
+	reg := telemetry.NewRegistry()
+	counter := reg.Counter("bench_counter_total", "bench")
+	gauge := reg.Gauge("bench_gauge", "bench")
+	hist := reg.Histogram("bench_seconds", "bench", nil)
+	ring := telemetry.NewTraceRing(8, time.Hour, nil) // nothing is ever slow
+	op := ring.Op("bench")
+
+	instRow := func(name string, fn func()) func(b *testing.B) {
+		return func(b *testing.B) {
+			allocs := testing.AllocsPerRun(1000, fn)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+			b.StopTimer()
+			ns := b.Elapsed().Seconds() * 1e9 / float64(b.N)
+			putObsRow(obsRow{Name: name, NsPerOp: ns, AllocsPerOp: &allocs})
+		}
+	}
+	b.Run("counter-inc", instRow("counter-inc", func() { counter.Inc() }))
+	b.Run("gauge-set", instRow("gauge-set", func() { gauge.Set(42.5) }))
+	b.Run("histogram-observe", instRow("histogram-observe", func() { hist.Observe(0.0042) }))
+	b.Run("span-fast-path", instRow("span-fast-path", func() {
+		sp := op.Start()
+		sp.FieldInt("n", 7)
+		sp.End()
+	}))
+
+	// Ingest pair: WAL-backed stores (where the append/fsync histograms
+	// actually fire), identical except for SetTelemetry.
+	payloads := ingestPayloads()
+	for _, tc := range []struct {
+		name string
+		tel  bool
+	}{{"ingest-base", false}, {"ingest-telemetry", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := tsdb.OpenSharded(4, tsdb.DurabilityOptions{
+				Dir:           b.TempDir(),
+				Fsync:         tsdb.FsyncInterval,
+				FlushInterval: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if tc.tel {
+				s.SetTelemetry(tsdb.NewStoreTelemetry(telemetry.NewRegistry()))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Write(payloads[i%len(payloads)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			putObsRow(obsRow{Name: tc.name, NsPerOp: b.Elapsed().Seconds() * 1e9 / float64(b.N)})
+		})
+	}
+
+	// Query pair: sealed stores read with chunk-fate counting on vs off.
+	queries := []tsdb.RangeQuery{
+		{Component: "*", Metric: "*", From: 0, To: 1 << 40},
+		{Component: "comp-*", Metric: "*", From: 0, To: 1 << 40, Agg: tsdb.AggMax, StepMS: 60000},
+		{Component: "comp-3", Metric: "metric_1", From: 100000, To: 400000},
+	}
+	for _, tc := range []struct {
+		name string
+		tel  bool
+	}{{"query-base", false}, {"query-telemetry", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var tel *tsdb.StoreTelemetry
+			if tc.tel {
+				tel = tsdb.NewStoreTelemetry(telemetry.NewRegistry())
+			}
+			s := obsSealedStore(b, tel)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.QueryRange(ctx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			putObsRow(obsRow{Name: tc.name, NsPerOp: b.Elapsed().Seconds() * 1e9 / float64(b.N)})
+		})
+	}
+
+	flushObsJSON(order)
+}
