@@ -8,7 +8,8 @@
 //	sieved [-addr :8086] [-shards N] [-window 240s] [-interval 30s]
 //	       [-step 500ms] [-app NAME] [-parallelism N]
 //	       [-query-parallelism N] [-data-dir DIR] [-retention 24h]
-//	       [-fsync interval] [-incremental] [-full-recompute-every N]
+//	       [-fsync interval] [-compact-interval 5m] [-compact-max-block 64MiB]
+//	       [-downsample] [-incremental] [-full-recompute-every N]
 //	       [-warm-start] [-warm-resweep-every N]
 //	       [-warm-silhouette-tolerance F] [-pprof-addr :6060]
 //	       [-self-scrape-interval 15s] [-slow-op-threshold 1s]
@@ -18,6 +19,14 @@
 // write-ahead log and are periodically sealed into Gorilla-compressed
 // block files, so a restarted sieved serves the same data it was killed
 // with. An empty -data-dir (the default) keeps the pure in-memory store.
+// A background compactor (cadence -compact-interval, disable with a
+// negative value) merges adjacent small blocks into larger ones up to
+// -compact-max-block bytes of chunk data each — query results are
+// byte-identical before and after. With -downsample it also attaches 5m
+// and 1h downsampled summaries that coarse-step aggregated /query_range
+// requests (min/max/count/rate with step a multiple of the resolution)
+// answer without touching chunk data, keeping month-window queries over
+// long -retention affordable.
 //
 // With -incremental the online pipeline carries state across cycles:
 // each run queries only the window's new tail and rolls a ring-buffered
@@ -84,6 +93,9 @@ func main() {
 	retention := flag.Duration("retention", 0, "drop on-disk blocks older than this much ingest time (0 = keep forever)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
 	flushInterval := flag.Duration("flush-interval", 0, "block flush cadence (0 = default 60s)")
+	compactInterval := flag.Duration("compact-interval", 0, "block compaction cadence (0 = default 5m, negative = disabled)")
+	compactMaxBlock := flag.Int64("compact-max-block", 0, "merged-block chunk-byte cap (0 = default 64 MiB)")
+	downsample := flag.Bool("downsample", false, "build 5m/1h downsampled summaries on compacted blocks for coarse-step queries")
 	incremental := flag.Bool("incremental", false, "carry pipeline state across cycles: tail-only window queries + Granger result cache")
 	fullRecomputeEvery := flag.Int("full-recompute-every", 0, "with -incremental, drop all carried state and recompute from scratch every N cycles (0 = never)")
 	warmStart := flag.Bool("warm-start", false, "seed clustering from the previous cycle and skip the silhouette sweep while quality holds")
@@ -114,6 +126,9 @@ func main() {
 		Retention:               *retention,
 		Fsync:                   *fsync,
 		FlushInterval:           *flushInterval,
+		CompactInterval:         *compactInterval,
+		CompactMaxBlockBytes:    *compactMaxBlock,
+		Downsample:              *downsample,
 		Incremental:             *incremental,
 		FullRecomputeEvery:      *fullRecomputeEvery,
 		WarmStart:               *warmStart,

@@ -110,6 +110,18 @@ type Options struct {
 	// (default 60s; negative disables it, leaving checkpoints to
 	// shutdown). Only meaningful with DataDir.
 	FlushInterval time.Duration
+	// CompactInterval is the cadence of the background compactor that
+	// merges adjacent small blocks and builds downsampled companion
+	// files (default 5m; negative disables it). Only meaningful with
+	// DataDir.
+	CompactInterval time.Duration
+	// CompactMaxBlockBytes caps a merged block's chunk bytes (default
+	// 64 MiB). Only meaningful with DataDir.
+	CompactMaxBlockBytes int64
+	// Downsample enables 5m/1h downsampled companions on compacted
+	// blocks, answering coarse-step aggregated /query_range requests
+	// without touching chunk data. Only meaningful with DataDir.
+	Downsample bool
 
 	// SelfScrapeInterval, when positive, makes Start also run the
 	// self-scrape loop: every interval the server flattens its own
@@ -255,10 +267,13 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		store, err = tsdb.OpenSharded(opts.Shards, tsdb.DurabilityOptions{
-			Dir:           opts.DataDir,
-			Fsync:         policy,
-			FlushInterval: opts.FlushInterval,
-			RetentionMS:   opts.Retention.Milliseconds(),
+			Dir:                  opts.DataDir,
+			Fsync:                policy,
+			FlushInterval:        opts.FlushInterval,
+			RetentionMS:          opts.Retention.Milliseconds(),
+			CompactInterval:      opts.CompactInterval,
+			CompactMaxBlockBytes: opts.CompactMaxBlockBytes,
+			Downsample:           opts.Downsample,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: opening durable store: %w", err)

@@ -52,6 +52,34 @@ type blockMeta struct {
 	// shard's lower-numbered segments. Recovery prunes those segments
 	// even when the writing checkpoint crashed before deleting them.
 	WALCuts map[string]uint64 `json:"wal_cuts,omitempty"`
+	// MinSeq and MaxSeq are the checkpoint-sequence range this block
+	// covers: a checkpoint-written block covers exactly its own Seq
+	// (both fields then omitted, 0 meaning "use Seq"), while a block
+	// written by compaction covers the contiguous range of the source
+	// blocks it merged. Recovery uses range containment to recognize
+	// source blocks a crashed compaction renamed over but did not get
+	// to delete. Live blocks always hold pairwise-disjoint ranges.
+	MinSeq uint64 `json:"min_seq,omitempty"`
+	MaxSeq uint64 `json:"max_seq,omitempty"`
+	// Level counts compaction generations: 0 for checkpoint-written
+	// blocks, max(source levels)+1 for merged blocks.
+	Level int `json:"level,omitempty"`
+}
+
+// minSeq/maxSeq resolve the covered checkpoint-sequence range,
+// defaulting to Seq for blocks written before compaction existed.
+func (m blockMeta) minSeq() uint64 {
+	if m.MinSeq != 0 {
+		return m.MinSeq
+	}
+	return m.Seq
+}
+
+func (m blockMeta) maxSeq() uint64 {
+	if m.MaxSeq != 0 {
+		return m.MaxSeq
+	}
+	return m.Seq
 }
 
 // chunkRef locates one Gorilla chunk of one series inside chunks.dat and
@@ -100,6 +128,51 @@ type blockIndex struct {
 	Series map[string][]chunkRef `json:"series"`
 }
 
+// dsRef is one downsampled bucket of one series in a companion file:
+// the exact per-bucket facts the aggregation push-down consumes
+// (count/min/max/first/last with the bucket's actual first and last
+// point timestamps) plus the sequential-fold sum. Unlike chunkRef it
+// references no chunk bytes — a downsampled bucket is consumed from the
+// summary alone or not at all (see scanDownsampled).
+type dsRef struct {
+	Count int   `json:"count"`
+	MinT  int64 `json:"min_t"`
+	MaxT  int64 `json:"max_t"`
+	// MinV/MaxV are the extrema, FirstV/LastV the first and last stored
+	// values in storage order (carrying MinT and MaxT), SumV the sum
+	// folded in storage order. NoSummary marks buckets that must never
+	// be consumed (the reader falls back to the raw block): buckets
+	// containing NaN, or any non-finite value JSON cannot carry — those
+	// persist zeroed placeholders alongside the flag.
+	MinV      float64 `json:"min_v"`
+	MaxV      float64 `json:"max_v"`
+	FirstV    float64 `json:"first_v"`
+	LastV     float64 `json:"last_v"`
+	SumV      float64 `json:"sum_v"`
+	NoSummary bool    `json:"no_summary,omitempty"`
+}
+
+// agg converts the persisted bucket into the engine's chunk summary
+// form, so the existing aggregator merge rules apply unchanged.
+func (r dsRef) agg() chunkAgg {
+	return chunkAgg{
+		Count: r.Count,
+		MinT:  r.MinT, MaxT: r.MaxT,
+		MinV: r.MinV, MaxV: r.MaxV,
+		FirstV: r.FirstV, LastV: r.LastV,
+		NoSummary: r.NoSummary,
+	}
+}
+
+// dsIndex is the persisted ds-<resolution>.json companion file: one
+// bucket list per series, buckets sorted by time and R-aligned on the
+// absolute grid (bucket k covers [k*R, (k+1)*R)).
+type dsIndex struct {
+	Version      int                `json:"version"`
+	ResolutionMS int64              `json:"resolution_ms"`
+	Series       map[string][]dsRef `json:"series"`
+}
+
 // blockVersion is the version written by writeBlock. Version 2 added the
 // per-chunk value summaries that aggregation push-down reads; chunks of
 // older blocks are decoded instead (hasAggs gates it).
@@ -115,6 +188,13 @@ type block struct {
 	// hasAggs reports whether the index's chunk refs carry trustworthy
 	// value summaries (blocks written at version >= 2).
 	hasAggs bool
+	// ds holds the loaded downsampled companions by resolution (ms).
+	// The chunk data stays raw-only: a companion is an alternative
+	// summary-level view of the same points, attached after publish
+	// (atomically, via tmp+rename inside the block directory) and
+	// deleted with the directory. Mutated only under the durable
+	// engine's mu (attachDownsampled) or before the block is shared.
+	ds map[int64]map[string][]dsRef
 }
 
 // isFinite reports whether f is neither NaN nor infinite.
@@ -134,10 +214,32 @@ func blockDirName(seq uint64, minT, maxT int64) string {
 // The write is atomic: everything goes to a tmp- directory whose files
 // and entries are fsynced before the rename publishes it.
 func writeBlock(blocksDir string, seq uint64, walCuts map[string]uint64, series map[string][]Point) (*block, error) {
-	keys := make([]string, 0, len(series))
+	parts := make(map[string][][]Point, len(series))
 	for k, pts := range series {
 		if len(pts) > 0 {
-			keys = append(keys, k)
+			parts[k] = [][]Point{pts}
+		}
+	}
+	return writeBlockParts(blocksDir, blockMeta{Seq: seq, WALCuts: walCuts}, parts)
+}
+
+// writeBlockParts is the general block writer: each series is given as a
+// list of segments, each individually time-sorted, chunked separately so
+// no chunk straddles a segment boundary. A checkpoint passes one sorted
+// segment per series; compaction passes one segment per monotone run of
+// the source-order concatenation, preserving the exact point order a
+// scan of the source blocks would produce (chunks only require internal
+// time order — chunk-level skip checks handle overlapping chunk ranges).
+// meta carries the caller's identity fields (Seq, WALCuts, MinSeq,
+// MaxSeq, Level); the content fields are computed here.
+func writeBlockParts(blocksDir string, meta blockMeta, series map[string][][]Point) (*block, error) {
+	keys := make([]string, 0, len(series))
+	for k, segs := range series {
+		for _, seg := range segs {
+			if len(seg) > 0 {
+				keys = append(keys, k)
+				break
+			}
 		}
 	}
 	if len(keys) == 0 {
@@ -147,57 +249,60 @@ func writeBlock(blocksDir string, seq uint64, walCuts map[string]uint64, series 
 
 	var chunks []byte
 	index := blockIndex{Series: make(map[string][]chunkRef, len(keys))}
-	meta := blockMeta{Version: blockVersion, Seq: seq, MinT: int64(1)<<62 - 1, MaxT: -int64(1) << 62, Series: len(keys), WALCuts: walCuts}
+	meta.Version = blockVersion
+	meta.MinT, meta.MaxT = int64(1)<<62-1, -int64(1)<<62
+	meta.Points, meta.Series, meta.ChunkBytes = 0, len(keys), 0
 	for _, key := range keys {
-		pts := series[key]
-		for start := 0; start < len(pts); start += maxChunkPoints {
-			end := start + maxChunkPoints
-			if end > len(pts) {
-				end = len(pts)
-			}
-			part := pts[start:end]
-			payload, err := CompressBlock(part)
-			if err != nil {
-				return nil, fmt.Errorf("tsdb: writeBlock %q: %w", key, err)
-			}
-			sum := summarizeChunk(part)
-			ref := chunkRef{
-				Offset: int64(len(chunks)),
-				Length: len(payload),
-				Count:  len(part),
-				MinT:   part[0].T,
-				MaxT:   part[len(part)-1].T,
-				MinV:   sum.MinV,
-				MaxV:   sum.MaxV,
-				FirstV: sum.FirstV,
-				LastV:  sum.LastV,
-			}
-			if sum.NoSummary ||
-				!isFinite(ref.MinV) || !isFinite(ref.MaxV) ||
-				!isFinite(ref.FirstV) || !isFinite(ref.LastV) {
-				// JSON cannot carry NaN/Inf; zero the placeholders and
-				// flag the ref so they are never consumed.
-				ref.NoSummary = true
-				ref.MinV, ref.MaxV, ref.FirstV, ref.LastV = 0, 0, 0, 0
-			}
-			var hdr [chunkHeader]byte
-			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-			binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-			chunks = append(chunks, hdr[:]...)
-			chunks = append(chunks, payload...)
-			index.Series[key] = append(index.Series[key], ref)
-			meta.Points += ref.Count
-			if ref.MinT < meta.MinT {
-				meta.MinT = ref.MinT
-			}
-			if ref.MaxT > meta.MaxT {
-				meta.MaxT = ref.MaxT
+		for _, pts := range series[key] {
+			for start := 0; start < len(pts); start += maxChunkPoints {
+				end := start + maxChunkPoints
+				if end > len(pts) {
+					end = len(pts)
+				}
+				part := pts[start:end]
+				payload, err := CompressBlock(part)
+				if err != nil {
+					return nil, fmt.Errorf("tsdb: writeBlock %q: %w", key, err)
+				}
+				sum := summarizeChunk(part)
+				ref := chunkRef{
+					Offset: int64(len(chunks)),
+					Length: len(payload),
+					Count:  len(part),
+					MinT:   part[0].T,
+					MaxT:   part[len(part)-1].T,
+					MinV:   sum.MinV,
+					MaxV:   sum.MaxV,
+					FirstV: sum.FirstV,
+					LastV:  sum.LastV,
+				}
+				if sum.NoSummary ||
+					!isFinite(ref.MinV) || !isFinite(ref.MaxV) ||
+					!isFinite(ref.FirstV) || !isFinite(ref.LastV) {
+					// JSON cannot carry NaN/Inf; zero the placeholders and
+					// flag the ref so they are never consumed.
+					ref.NoSummary = true
+					ref.MinV, ref.MaxV, ref.FirstV, ref.LastV = 0, 0, 0, 0
+				}
+				var hdr [chunkHeader]byte
+				binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+				binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+				chunks = append(chunks, hdr[:]...)
+				chunks = append(chunks, payload...)
+				index.Series[key] = append(index.Series[key], ref)
+				meta.Points += ref.Count
+				if ref.MinT < meta.MinT {
+					meta.MinT = ref.MinT
+				}
+				if ref.MaxT > meta.MaxT {
+					meta.MaxT = ref.MaxT
+				}
 			}
 		}
 	}
 	meta.ChunkBytes = int64(len(chunks))
 
-	tmp := filepath.Join(blocksDir, blockTmpPrefix+blockDirName(seq, meta.MinT, meta.MaxT))
+	tmp := filepath.Join(blocksDir, blockTmpPrefix+blockDirName(meta.Seq, meta.MinT, meta.MaxT))
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return nil, err
 	}
@@ -224,7 +329,7 @@ func writeBlock(blocksDir string, seq uint64, walCuts map[string]uint64, series 
 	if err := syncDir(tmp); err != nil {
 		return nil, err
 	}
-	final := filepath.Join(blocksDir, blockDirName(seq, meta.MinT, meta.MaxT))
+	final := filepath.Join(blocksDir, blockDirName(meta.Seq, meta.MinT, meta.MaxT))
 	if err := os.Rename(tmp, final); err != nil {
 		return nil, err
 	}
@@ -265,7 +370,9 @@ func syncDir(dir string) error {
 	return err
 }
 
-// openBlock loads a block's meta and index and opens its chunks file.
+// openBlock loads a block's meta and index, opens its chunks file, loads
+// any downsampled companion files, and removes tmp- leftovers from a
+// companion write that crashed before its rename.
 func openBlock(dir string) (*block, error) {
 	metaData, err := os.ReadFile(filepath.Join(dir, blockMetaName))
 	if err != nil {
@@ -287,7 +394,62 @@ func openBlock(dir string) (*block, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &block{dir: dir, meta: meta, index: idx.Series, f: f, hasAggs: meta.Version >= 2}, nil
+	b := &block{dir: dir, meta: meta, index: idx.Series, f: f, hasAggs: meta.Version >= 2}
+	if err := b.loadDownsampled(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// loadDownsampled loads every ds-<resolution>.json companion in the
+// block directory into b.ds and deletes tmp- leftovers (a companion
+// write that crashed before its rename; the raw chunks still cover the
+// data, so nothing is lost).
+func (b *block) loadDownsampled() error {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, blockTmpPrefix) {
+			if err := os.Remove(filepath.Join(b.dir, name)); err != nil {
+				return err
+			}
+			continue
+		}
+		res, ok := parseDownsampledName(name)
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(b.dir, name))
+		if err != nil {
+			return err
+		}
+		var idx dsIndex
+		if err := json.Unmarshal(data, &idx); err != nil {
+			return fmt.Errorf("tsdb: block %s: bad companion %s: %w", b.dir, name, err)
+		}
+		if idx.ResolutionMS != res || idx.ResolutionMS <= 0 {
+			return fmt.Errorf("tsdb: block %s: companion %s resolution mismatch (%d)", b.dir, name, idx.ResolutionMS)
+		}
+		if b.ds == nil {
+			b.ds = map[int64]map[string][]dsRef{}
+		}
+		b.ds[res] = idx.Series
+	}
+	return nil
+}
+
+// covers reports whether b's checkpoint-sequence range contains other's:
+// b is (or descends from) a compaction whose sources included every
+// checkpoint other covers, so other is a stale leftover the compaction
+// did not get to delete.
+func (b *block) covers(other *block) bool {
+	return b != other &&
+		b.meta.minSeq() <= other.meta.minSeq() &&
+		other.meta.maxSeq() <= b.meta.maxSeq()
 }
 
 // readChunk reads and CRC-checks one chunk's payload.
@@ -362,9 +524,28 @@ func (b *block) close() error {
 	return err
 }
 
+// downsampledName formats the companion file name of one resolution.
+func downsampledName(resMS int64) string {
+	return fmt.Sprintf("ds-%d.json", resMS)
+}
+
+// parseDownsampledName inverts downsampledName.
+func parseDownsampledName(name string) (resMS int64, ok bool) {
+	if !strings.HasPrefix(name, "ds-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	if _, err := fmt.Sscanf(name, "ds-%d.json", &resMS); err != nil || resMS <= 0 {
+		return 0, false
+	}
+	return resMS, true
+}
+
 // openBlocks loads every published block under blocksDir (ascending by
-// sequence number) and removes leftover tmp- directories from flushes
-// that crashed before their rename.
+// covered checkpoint-sequence range), removes leftover tmp- directories
+// from flushes or compactions that crashed before their rename, and
+// removes published blocks that a live merged block supersedes — the
+// crash window between a compaction's rename and its source deletion,
+// which must not double-count (or double-serve) the merged points.
 func openBlocks(blocksDir string) ([]*block, error) {
 	if err := os.MkdirAll(blocksDir, 0o755); err != nil {
 		return nil, err
@@ -380,7 +561,8 @@ func openBlocks(blocksDir string) ([]*block, error) {
 			continue
 		}
 		if strings.HasPrefix(name, blockTmpPrefix) {
-			// Crash mid-flush: the WAL still covers this data.
+			// Crash mid-flush or mid-compaction: the WAL (or the source
+			// blocks) still covers this data.
 			if err := os.RemoveAll(filepath.Join(blocksDir, name)); err != nil {
 				return nil, err
 			}
@@ -395,6 +577,50 @@ func openBlocks(blocksDir string) ([]*block, error) {
 		}
 		blocks = append(blocks, b)
 	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i].meta.Seq < blocks[j].meta.Seq })
+	blocks, err = dropSupersededBlocks(blocks)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].meta.minSeq() < blocks[j].meta.minSeq() })
 	return blocks, nil
+}
+
+// dropSupersededBlocks closes and deletes every block whose covered
+// checkpoint-sequence range lies inside another live block's range:
+// those are compaction sources whose deletion a crash interrupted. The
+// survivor holds the identical points, so removal is the completion of
+// the interrupted compaction, not data loss. Among blocks covering the
+// same range (never produced by a healthy sequence of compactions, but
+// defended against), the higher compaction level, then the higher
+// sequence number, survives.
+func dropSupersededBlocks(blocks []*block) ([]*block, error) {
+	kept := blocks[:0]
+	for _, b := range blocks {
+		super := false
+		for _, other := range blocks {
+			if !other.covers(b) {
+				continue
+			}
+			if b.covers(other) {
+				// Identical ranges: deterministic tie-break.
+				if other.meta.Level < b.meta.Level ||
+					(other.meta.Level == b.meta.Level && other.meta.Seq < b.meta.Seq) {
+					continue
+				}
+			}
+			super = true
+			break
+		}
+		if !super {
+			kept = append(kept, b)
+			continue
+		}
+		if err := b.close(); err != nil {
+			return nil, err
+		}
+		if err := os.RemoveAll(b.dir); err != nil {
+			return nil, err
+		}
+	}
+	return kept, nil
 }

@@ -1,0 +1,531 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Background compaction and downsampling.
+//
+// A checkpoint publishes one immutable block per flush, so a long-lived
+// store accumulates thousands of tiny blocks: every query then pays a
+// per-block meta check, index lookup, and (cold) chunk read per series
+// per block. The compactor runs off the ingest path and merges adjacent
+// small blocks into larger ones — same block format, same atomic
+// tmp-dir + rename publish — and attaches downsampled companion files
+// (5m and 1h per-bucket summaries) that aggregated queries consume
+// without touching chunk data at all.
+//
+// Invariants, in order of importance:
+//
+//   - Byte-identical reads. A merged block preserves the exact storage
+//     order of its sources: per series, the concatenation of the
+//     sources' scan streams (in covered-sequence order), re-chunked at
+//     monotone-run boundaries so every chunk stays internally
+//     time-sorted. Raw queries stably re-sort, and aggregation decode
+//     folds in storage order, so both see the same bytes before and
+//     after a compaction. Downsampled buckets are consumed only when
+//     the summary provably reproduces what decoding would yield (see
+//     feedDownsampled); sum/avg never consume them — per-bucket partial
+//     sums fold in a different order than the point-by-point reference,
+//     so those aggregations always decode raw chunks.
+//   - Crash safety. The merged block is built under a tmp- prefix and
+//     renamed into place; its meta records the covered checkpoint
+//     sequence range [MinSeq, MaxSeq]. A crash before the rename leaves
+//     a tmp- dir the next open removes; a crash after the rename but
+//     before the sources are deleted leaves blocks whose ranges the
+//     merged block covers — openBlocks removes them, completing the
+//     interrupted compaction (dropSupersededBlocks). Companion files
+//     are written tmp + rename inside the block directory and die with
+//     it.
+//   - Accounting. A compaction moves points between blocks but never
+//     changes the point set, so Stats.Points (basePoints) is untouched;
+//     retention accounts a merged block's points exactly once when it
+//     expires, and the crash-window duplicate sources are removed at
+//     open before basePoints is summed.
+
+// downsampleResolutions are the companion resolutions, finest first:
+// 5 minutes and 1 hour, the classic Thanos ladder. A query uses the
+// coarsest resolution whose bucket width divides its step.
+var downsampleResolutions = []int64{5 * 60 * 1000, 60 * 60 * 1000}
+
+// floorDiv returns floor(t / d) for d > 0, exact for every int64 t
+// (plain Go division truncates toward zero, which rounds negative
+// timestamps the wrong way).
+func floorDiv(t, d int64) int64 {
+	q := t / d
+	if t%d != 0 && t < 0 {
+		q--
+	}
+	return q
+}
+
+// downsampleSeries folds one series' points (in storage order) into
+// per-bucket summaries on the absolute resMS grid (bucket k covers
+// [k*resMS, (k+1)*resMS)). Every per-bucket fact follows the exact
+// accumulation rules of aggregator.add on the same feed order — count,
+// comparison min/max, sequential-fold sum, first/last displaced by
+// strict-less / greater-or-equal timestamp — so consuming a bucket
+// summary is bit-identical to decoding its points. Buckets containing
+// NaN (order-dependent min/max) or any non-finite fact (JSON cannot
+// carry it) are flagged NoSummary with zeroed value fields and are
+// never consumed. Bucket assignment uses floorDiv, exact at extreme
+// timestamps (no multiply that could overflow).
+func downsampleSeries(pts []Point, resMS int64) []dsRef {
+	if len(pts) == 0 {
+		return nil
+	}
+	buckets := map[int64]*dsRef{}
+	idxs := make([]int64, 0, 8)
+	for _, p := range pts {
+		idx := floorDiv(p.T, resMS)
+		b := buckets[idx]
+		if b == nil {
+			b = &dsRef{
+				Count: 1, MinT: p.T, MaxT: p.T,
+				MinV: p.V, MaxV: p.V, FirstV: p.V, LastV: p.V, SumV: p.V,
+			}
+			if p.V != p.V { // NaN
+				b.NoSummary = true
+			}
+			buckets[idx] = b
+			idxs = append(idxs, idx)
+			continue
+		}
+		b.Count++
+		if p.V != p.V {
+			b.NoSummary = true
+		}
+		if p.V < b.MinV {
+			b.MinV = p.V
+		}
+		if p.V > b.MaxV {
+			b.MaxV = p.V
+		}
+		b.SumV += p.V
+		if p.T < b.MinT {
+			b.MinT, b.FirstV = p.T, p.V
+		}
+		if p.T >= b.MaxT {
+			b.MaxT, b.LastV = p.T, p.V
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := make([]dsRef, 0, len(idxs))
+	for _, idx := range idxs {
+		r := *buckets[idx]
+		if r.NoSummary ||
+			!isFinite(r.MinV) || !isFinite(r.MaxV) ||
+			!isFinite(r.FirstV) || !isFinite(r.LastV) || !isFinite(r.SumV) {
+			r.NoSummary = true
+			r.MinV, r.MaxV, r.FirstV, r.LastV, r.SumV = 0, 0, 0, 0, 0
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// buildDownsampled computes and atomically persists one companion file
+// for b, returning the series map to attach. The block is immutable, so
+// no lock is needed to read it; the caller serializes against retention
+// (which would delete the directory) via flushMu.
+func buildDownsampled(b *block, resMS int64) (map[string][]dsRef, error) {
+	series := make(map[string][]dsRef, len(b.index))
+	for key := range b.index {
+		pts, err := b.query(key, math.MinInt64, math.MaxInt64, nil)
+		if err != nil {
+			return nil, fmt.Errorf("downsampling %s %q: %w", b.dir, key, err)
+		}
+		if refs := downsampleSeries(pts, resMS); len(refs) > 0 {
+			series[key] = refs
+		}
+	}
+	data, err := json.MarshalIndent(dsIndex{Version: 1, ResolutionMS: resMS, Series: series}, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	name := downsampledName(resMS)
+	tmp := filepath.Join(b.dir, blockTmpPrefix+name)
+	if err := writeFileSync(tmp, data); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, filepath.Join(b.dir, name)); err != nil {
+		return nil, err
+	}
+	if err := syncDir(b.dir); err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// scanDownsampled tries to answer one block's contribution to an
+// aggregated query from a downsampled companion instead of the chunks.
+// Resolution selection: the coarsest companion whose bucket width
+// divides the query step (a step below 5m divides neither resolution,
+// so those queries stay raw — per-resolution eligibility then decides
+// authoritatively). Only pushdown-capable aggregations (min/max/count/
+// rate) participate: sum and avg fold per-bucket partial sums in a
+// different order than the point-by-point reference, so they always
+// decode raw to keep the bit-exactness contract. Returns true when the
+// block was fully consumed from a companion; false means the caller
+// must scan the chunks (never a partial mix within one block).
+func scanDownsampled(b *block, key string, q RangeQuery, acc *aggregator, tel *StoreTelemetry) bool {
+	if !acc.pushdown || len(b.ds) == 0 {
+		return false
+	}
+	for i := len(downsampleResolutions) - 1; i >= 0; i-- {
+		res := downsampleResolutions[i]
+		if q.StepMS%res != 0 {
+			continue
+		}
+		refs := b.ds[res][key]
+		if len(refs) == 0 {
+			// hasSeries was true, so a companion at this resolution that
+			// lacks the key cannot represent the block; try a finer one.
+			continue
+		}
+		if feedDownsampled(refs, q, acc, tel) {
+			return true
+		}
+	}
+	return false
+}
+
+// feedDownsampled feeds a companion's bucket summaries for one series
+// into the accumulator — but only if every bucket overlapping the query
+// range is provably consumable: fully inside [From, To) (a partially
+// overlapping bucket would contribute points the summary cannot split
+// out), mapping to a single query bucket (companion buckets sit on the
+// absolute grid, query buckets are anchored at From, so an unaligned
+// From can make a 5m bucket straddle a 10m query bucket), and carrying
+// a trustworthy summary (no NaN, no non-finite facts). One ineligible
+// bucket rejects the whole block — all or nothing, so the caller's raw
+// fallback never double-feeds.
+func feedDownsampled(refs []dsRef, q RangeQuery, acc *aggregator, tel *StoreTelemetry) bool {
+	for _, r := range refs {
+		if r.MaxT < q.From || r.MinT >= q.To {
+			continue
+		}
+		if r.NoSummary || r.MinT < q.From || r.MaxT >= q.To ||
+			acc.bucketIdx(r.MinT) != acc.bucketIdx(r.MaxT) {
+			return false
+		}
+	}
+	n := 0
+	for _, r := range refs {
+		if r.MaxT < q.From || r.MinT >= q.To {
+			continue
+		}
+		acc.chunk(r.agg())
+		n++
+	}
+	if tel != nil {
+		tel.DownsampledBucketsRead.Add(uint64(n))
+	}
+	return true
+}
+
+// planCompactRuns groups a snapshot of the block list (ordered by
+// covered sequence range) into runs of adjacent blocks to merge: each
+// run holds at least two blocks and at most CompactMaxBlockBytes of
+// chunk data. Blocks at or above the cap stand alone and end the run on
+// either side, so a fully compacted store converges instead of
+// rewriting its big blocks forever.
+func planCompactRuns(blocks []*block, maxBytes int64) [][]*block {
+	var runs [][]*block
+	var run []*block
+	var runBytes int64
+	flush := func() {
+		if len(run) >= 2 {
+			runs = append(runs, run)
+		}
+		run, runBytes = nil, 0
+	}
+	for _, b := range blocks {
+		sz := b.meta.ChunkBytes
+		if sz >= maxBytes {
+			flush()
+			continue
+		}
+		if runBytes+sz > maxBytes {
+			flush()
+		}
+		run = append(run, b)
+		runBytes += sz
+	}
+	flush()
+	return runs
+}
+
+// mergeRun builds one merged block from an adjacent run of source
+// blocks. Per series, the sources' full scan streams are concatenated
+// in run order — exactly the order a query's block loop feeds them —
+// and split into monotone segments wherever a timestamp strictly
+// decreases (late data across checkpoints), so writeBlockParts keeps
+// every chunk internally sorted without ever reordering the stream.
+func mergeRun(blocksDir string, seq uint64, run []*block) (*block, error) {
+	keySet := map[string]struct{}{}
+	var totalPts int
+	for _, b := range run {
+		totalPts += b.meta.Points
+		for k := range b.index {
+			keySet[k] = struct{}{}
+		}
+	}
+	series := make(map[string][][]Point, len(keySet))
+	for key := range keySet {
+		var stream []Point
+		for _, b := range run {
+			if !b.hasSeries(key) {
+				continue
+			}
+			pts, err := b.query(key, math.MinInt64, math.MaxInt64, nil)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: compacting %s %q: %w", b.dir, key, err)
+			}
+			stream = append(stream, pts...)
+		}
+		if len(stream) == 0 {
+			continue
+		}
+		var segs [][]Point
+		start := 0
+		for i := 1; i < len(stream); i++ {
+			if stream[i].T < stream[i-1].T {
+				segs = append(segs, stream[start:i])
+				start = i
+			}
+		}
+		series[key] = append(segs, stream[start:])
+	}
+	cuts := map[string]uint64{}
+	level := 0
+	for _, b := range run {
+		for k, c := range b.meta.WALCuts {
+			if c > cuts[k] {
+				cuts[k] = c
+			}
+		}
+		if b.meta.Level > level {
+			level = b.meta.Level
+		}
+	}
+	if len(cuts) == 0 {
+		cuts = nil
+	}
+	merged, err := writeBlockParts(blocksDir, blockMeta{
+		Seq:     seq,
+		WALCuts: cuts,
+		MinSeq:  run[0].meta.minSeq(),
+		MaxSeq:  run[len(run)-1].meta.maxSeq(),
+		Level:   level + 1,
+	}, series)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: writing merged block: %w", err)
+	}
+	if merged.meta.Points != totalPts {
+		// Defensive: a miscount here would silently corrupt Stats.Points
+		// and retention accounting; fail the compaction instead.
+		_ = merged.close()
+		_ = os.RemoveAll(merged.dir)
+		return nil, fmt.Errorf("tsdb: merged block holds %d points, sources held %d", merged.meta.Points, totalPts)
+	}
+	return merged, nil
+}
+
+// compact runs one full compaction pass: merge every planned run of
+// adjacent small blocks, then (with Downsample enabled) attach missing
+// companion files. Each run and each companion holds flushMu for its own
+// duration only, so checkpoints interleave between units of work instead
+// of stalling behind a whole pass; ingest never blocks (the shard locks
+// are untouched — compaction reads only immutable published blocks).
+func (d *durable) compact() error {
+	if tel := d.telemetry(); tel != nil {
+		tel.CompactionsRun.Inc()
+	}
+	d.mu.RLock()
+	snapshot := append([]*block(nil), d.blocks...)
+	maxBytes := d.opts.CompactMaxBlockBytes
+	d.mu.RUnlock()
+	for _, run := range planCompactRuns(snapshot, maxBytes) {
+		if err := d.compactRun(run); err != nil {
+			return err
+		}
+	}
+	if !d.opts.Downsample {
+		return nil
+	}
+	d.mu.RLock()
+	var todo []*block
+	for _, b := range d.blocks {
+		for _, res := range downsampleResolutions {
+			if b.ds[res] == nil {
+				todo = append(todo, b)
+				break
+			}
+		}
+	}
+	d.mu.RUnlock()
+	for _, b := range todo {
+		if err := d.downsampleBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactRun merges one planned run and swaps it into the block list.
+// flushMu serializes against checkpoints and retention, so the sources
+// cannot be closed or deleted while they are being read; the list swap
+// itself runs under mu, atomically for readers. The merged block holds
+// the identical point set, so a reader before or after the swap sees
+// the same bytes.
+func (d *durable) compactRun(run []*block) error {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+	if d.closed {
+		return nil
+	}
+	// Revalidate against retention: a block dropped between planning and
+	// now invalidates the run (its neighbors may no longer be adjacent).
+	d.mu.Lock()
+	live := make(map[*block]bool, len(d.blocks))
+	for _, b := range d.blocks {
+		live[b] = true
+	}
+	for _, b := range run {
+		if !live[b] {
+			d.mu.Unlock()
+			return nil
+		}
+	}
+	seq := d.nextSeq
+	d.nextSeq++
+	d.mu.Unlock()
+
+	var start time.Time
+	tel := d.telemetry()
+	if tel != nil {
+		start = time.Now()
+	}
+	merged, err := mergeRun(d.blocksDir, seq, run)
+	if err != nil {
+		return err
+	}
+
+	inRun := make(map[*block]bool, len(run))
+	var sourceBytes int64
+	for _, b := range run {
+		inRun[b] = true
+		sourceBytes += b.meta.ChunkBytes
+	}
+	d.mu.Lock()
+	kept := make([]*block, 0, len(d.blocks)-len(run)+1)
+	for _, b := range d.blocks {
+		if b == run[0] {
+			kept = append(kept, merged)
+		}
+		if !inRun[b] {
+			kept = append(kept, b)
+		}
+	}
+	d.blocks = kept
+	if tel != nil {
+		tel.CompactionMergedBlocks.Add(uint64(len(run)))
+		if reclaimed := sourceBytes - merged.meta.ChunkBytes; reclaimed > 0 {
+			tel.CompactionReclaimedBytes.Add(uint64(reclaimed))
+		}
+		tel.CompactionSeconds.ObserveSince(start)
+	}
+	d.mu.Unlock()
+	// No reader can reach the sources anymore (the swap ran under mu,
+	// and scans hold the read lock for their whole block loop): retire
+	// them. A crash between the rename above and these removals leaves
+	// blocks the merged meta's sequence range covers; the next open
+	// completes the deletion (dropSupersededBlocks).
+	var firstErr error
+	for _, b := range run {
+		if err := b.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := os.RemoveAll(b.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// downsampleBlock attaches every missing companion resolution to one
+// block. flushMu keeps retention (and other compaction work) from
+// deleting the directory mid-write; the attach itself runs under mu,
+// where readers look companions up.
+func (d *durable) downsampleBlock(b *block) error {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.mu.RLock()
+	live := false
+	for _, lb := range d.blocks {
+		if lb == b {
+			live = true
+			break
+		}
+	}
+	var missing []int64
+	if live {
+		for _, res := range downsampleResolutions {
+			if b.ds[res] == nil {
+				missing = append(missing, res)
+			}
+		}
+	}
+	d.mu.RUnlock()
+	tel := d.telemetry()
+	for _, res := range missing {
+		var start time.Time
+		if tel != nil {
+			start = time.Now()
+		}
+		series, err := buildDownsampled(b, res)
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		if b.ds == nil {
+			b.ds = map[int64]map[string][]dsRef{}
+		}
+		b.ds[res] = series
+		d.mu.Unlock()
+		if tel != nil {
+			tel.DownsampleSeconds.ObserveSince(start)
+		}
+	}
+	return nil
+}
+
+// compactLoop runs compaction passes on a ticker.
+func (d *durable) compactLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			if err := d.compact(); err != nil {
+				// Next tick retries; sources are only removed after a
+				// successful swap, so a failed pass loses nothing.
+				slog.Error("compaction pass failed", "err", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package tsdb
+
+// Unit and fuzz coverage for the compaction internals: bucket
+// assignment at extreme timestamps, the downsample fold against a naive
+// from-scratch reference, run planning, companion-file naming, and the
+// resolution-selection / raw-fallback decision observed through the
+// DownsampledBucketsRead telemetry counter.
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bigFloorDiv is the overflow-proof reference for bucket assignment:
+// big.Int division is Euclidean, which for a positive divisor equals
+// floor division, and cannot overflow at any int64 input.
+func bigFloorDiv(t, d int64) int64 {
+	var q big.Int
+	q.Div(big.NewInt(t), big.NewInt(d))
+	return q.Int64()
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ t, d int64 }{
+		{0, 1}, {7, 3}, {-7, 3}, {6, 3}, {-6, 3}, {1, 300000},
+		{-1, 300000}, {299999, 300000}, {300000, 300000}, {-300001, 300000},
+		{math.MaxInt64, 300000}, {math.MinInt64, 300000},
+		{math.MaxInt64, 3600000}, {math.MinInt64, 3600000},
+		{math.MaxInt64, 1}, {math.MinInt64, 1},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		d := []int64{300000, 3600000}[rng.Intn(2)]
+		cases = append(cases, struct{ t, d int64 }{rng.Int63() - rng.Int63(), d})
+	}
+	for _, c := range cases {
+		if got, want := floorDiv(c.t, c.d), bigFloorDiv(c.t, c.d); got != want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.t, c.d, got, want)
+		}
+	}
+}
+
+// refDownsampleSeries recomputes every per-bucket fact from scratch —
+// group points by big.Int bucket assignment, then derive each fact by
+// an independent formulation (scan for the extremal timestamps, pick
+// first/last carriers by position, comparison-fold the values) — rather
+// than mirroring downsampleSeries' single-pass displacement rules.
+func refDownsampleSeries(pts []Point, resMS int64) []dsRef {
+	groups := map[int64][]Point{}
+	for _, p := range pts {
+		idx := bigFloorDiv(p.T, resMS)
+		groups[idx] = append(groups[idx], p)
+	}
+	idxs := make([]int64, 0, len(groups))
+	for idx := range groups {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	out := make([]dsRef, 0, len(idxs))
+	for _, idx := range idxs {
+		g := groups[idx]
+		r := dsRef{Count: len(g), MinT: g[0].T, MaxT: g[0].T}
+		for _, p := range g {
+			if p.T < r.MinT {
+				r.MinT = p.T
+			}
+			if p.T > r.MaxT {
+				r.MaxT = p.T
+			}
+		}
+		for _, p := range g { // first point carrying the minimum timestamp
+			if p.T == r.MinT {
+				r.FirstV = p.V
+				break
+			}
+		}
+		for _, p := range g { // last point carrying the maximum timestamp
+			if p.T == r.MaxT {
+				r.LastV = p.V
+			}
+		}
+		r.MinV, r.MaxV = g[0].V, g[0].V
+		for _, p := range g {
+			if p.V != p.V {
+				r.NoSummary = true
+			}
+			if p.V < r.MinV {
+				r.MinV = p.V
+			}
+			if p.V > r.MaxV {
+				r.MaxV = p.V
+			}
+		}
+		for _, p := range g {
+			r.SumV += p.V
+		}
+		if r.NoSummary ||
+			!isFinite(r.MinV) || !isFinite(r.MaxV) ||
+			!isFinite(r.FirstV) || !isFinite(r.LastV) || !isFinite(r.SumV) {
+			r.NoSummary = true
+			r.MinV, r.MaxV, r.FirstV, r.LastV, r.SumV = 0, 0, 0, 0, 0
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func dsRefsEqual(a, b dsRef) bool {
+	return a.Count == b.Count && a.MinT == b.MinT && a.MaxT == b.MaxT &&
+		a.NoSummary == b.NoSummary &&
+		math.Float64bits(a.MinV) == math.Float64bits(b.MinV) &&
+		math.Float64bits(a.MaxV) == math.Float64bits(b.MaxV) &&
+		math.Float64bits(a.FirstV) == math.Float64bits(b.FirstV) &&
+		math.Float64bits(a.LastV) == math.Float64bits(b.LastV) &&
+		math.Float64bits(a.SumV) == math.Float64bits(b.SumV)
+}
+
+// FuzzDownsampleBuckets pins the bucket math against the naive
+// reference across feed orders, resolutions, NaN/Inf/huge values, and
+// timestamps pushed to the int64 extremes where a multiply-based bucket
+// assignment would overflow.
+func FuzzDownsampleBuckets(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(0), uint8(0))
+	f.Add(int64(2), uint16(300), uint8(1), uint8(1))
+	f.Add(int64(3), uint16(17), uint8(0), uint8(2))
+	f.Add(int64(4), uint16(17), uint8(1), uint8(3))
+	f.Add(int64(5), uint16(512), uint8(0), uint8(1))
+	f.Add(int64(6), uint16(1), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, resIdx, mode uint8) {
+		count := int(n)%1024 + 1
+		resMS := downsampleResolutions[int(resIdx)%len(downsampleResolutions)]
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]Point, count)
+		for i := range pts {
+			var ts int64
+			switch mode % 4 {
+			case 0: // dense positive: many points per bucket
+				ts = rng.Int63n(6 * 3600 * 1000)
+			case 1: // scattered across the full signed range
+				ts = rng.Int63() - rng.Int63()
+			case 2: // hugging MaxInt64: k*resMS overflows, floor must not
+				ts = math.MaxInt64 - rng.Int63n(4*resMS)
+			case 3: // hugging MinInt64: truncation rounds the wrong way
+				ts = math.MinInt64 + rng.Int63n(4*resMS)
+			}
+			v := rng.NormFloat64() * 1000
+			switch rng.Intn(16) {
+			case 0:
+				v = math.NaN()
+			case 1:
+				v = math.Inf(1)
+			case 2:
+				v = -math.MaxFloat64 // sum overflow → non-finite fact
+			}
+			pts[i] = Point{T: ts, V: v}
+		}
+		got := downsampleSeries(pts, resMS)
+		want := refDownsampleSeries(pts, resMS)
+		if len(got) != len(want) {
+			t.Fatalf("res=%d: %d buckets, reference has %d", resMS, len(got), len(want))
+		}
+		total := 0
+		for i := range got {
+			if !dsRefsEqual(got[i], want[i]) {
+				t.Fatalf("res=%d bucket %d:\n got %+v\nwant %+v", resMS, i, got[i], want[i])
+			}
+			total += got[i].Count
+			if bigFloorDiv(got[i].MinT, resMS) != bigFloorDiv(got[i].MaxT, resMS) {
+				t.Fatalf("res=%d bucket %d spans grid cells: [%d, %d]", resMS, i, got[i].MinT, got[i].MaxT)
+			}
+			if i > 0 && bigFloorDiv(got[i-1].MaxT, resMS) >= bigFloorDiv(got[i].MinT, resMS) {
+				t.Fatalf("res=%d buckets %d/%d out of order or overlapping", resMS, i-1, i)
+			}
+		}
+		if total != count {
+			t.Fatalf("res=%d: buckets hold %d points, fed %d", resMS, total, count)
+		}
+	})
+}
+
+func TestPlanCompactRuns(t *testing.T) {
+	mk := func(sizes ...int64) []*block {
+		bs := make([]*block, len(sizes))
+		for i, sz := range sizes {
+			bs[i] = &block{meta: blockMeta{Seq: uint64(i + 1), ChunkBytes: sz}}
+		}
+		return bs
+	}
+	// seqs flattens planned runs into source Seq lists for comparison.
+	seqs := func(runs [][]*block) [][]uint64 {
+		var out [][]uint64
+		for _, run := range runs {
+			var ids []uint64
+			for _, b := range run {
+				ids = append(ids, b.meta.Seq)
+			}
+			out = append(out, ids)
+		}
+		return out
+	}
+	cases := []struct {
+		name     string
+		blocks   []*block
+		maxBytes int64
+		want     [][]uint64
+	}{
+		{"empty", nil, 100, nil},
+		{"single block never merges", mk(10), 100, nil},
+		{"all fit one run", mk(10, 10, 10), 100, [][]uint64{{1, 2, 3}}},
+		{"cap splits run, lone tail dropped", mk(10, 10, 10), 25, [][]uint64{{1, 2}}},
+		{"oversized block ends runs", mk(10, 200, 10, 10), 100, [][]uint64{{3, 4}}},
+		{"block exactly at cap stands alone", mk(100, 10, 10), 100, [][]uint64{{2, 3}}},
+		{"two full runs", mk(40, 40, 40, 40), 80, [][]uint64{{1, 2}, {3, 4}}},
+		{"half-cap neighbors cannot pair", mk(60, 60, 60), 100, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := seqs(planCompactRuns(c.blocks, c.maxBytes))
+			if fmt.Sprint(got) != fmt.Sprint(c.want) {
+				t.Fatalf("planCompactRuns = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestDownsampledNameRoundtrip(t *testing.T) {
+	for _, res := range downsampleResolutions {
+		name := downsampledName(res)
+		got, ok := parseDownsampledName(name)
+		if !ok || got != res {
+			t.Fatalf("parseDownsampledName(%q) = %d, %v; want %d, true", name, got, ok, res)
+		}
+	}
+	for _, bad := range []string{"meta.json", "chunks.dat", "ds-.json", "ds-abc.json", "ds-300000.txt"} {
+		if _, ok := parseDownsampledName(bad); ok {
+			t.Fatalf("parseDownsampledName(%q) accepted a non-companion name", bad)
+		}
+	}
+}
+
+// TestDownsampledResolutionSelection drives real queries through a
+// compacted store and asserts — via the DownsampledBucketsRead counter —
+// exactly which queries answer from summaries: coarse aligned
+// min/max/count/rate steps do, sub-resolution steps, unaligned From, and
+// sum/avg never do. Every answer is also checked against the naive
+// reference, so the counter cannot certify a wrong fast path.
+func TestDownsampledResolutionSelection(t *testing.T) {
+	// 4 hours at 15s ticks: 48 full 5m buckets per hour, 4 full 1h buckets.
+	samples := compactSamples(7, 1, 2, 960, 15_000, false)
+	span := maxSampleT(samples) + 1
+
+	s, tel := openCompactable(t, t.TempDir(), 1, FsyncNever, 0)
+	defer s.Close()
+	const rounds = 6
+	per := len(samples) / rounds
+	for r := 0; r < rounds; r++ {
+		if err := s.WriteSamples(samples[r*per:(r+1)*per], 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(q RangeQuery) uint64 {
+		t.Helper()
+		before := tel.DownsampledBucketsRead.Value()
+		assertBitIdentical(t, "resolution selection", q, engineQuery(t, s, q), refQueryRange(t, s, q))
+		return tel.DownsampledBucketsRead.Value() - before
+	}
+	base := RangeQuery{Component: "*", Metric: "*", From: 0, To: span}
+
+	sub := base
+	sub.Agg, sub.StepMS = AggMax, 60_000 // 1m: divides neither resolution
+	if n := run(sub); n != 0 {
+		t.Errorf("1m step consumed %d downsampled buckets, want 0", n)
+	}
+
+	fine := base
+	fine.Agg, fine.StepMS = AggMax, 300_000
+	fineN := run(fine)
+	if fineN == 0 {
+		t.Error("aligned 5m max query consumed no downsampled buckets")
+	}
+
+	coarse := base
+	coarse.Agg, coarse.StepMS = AggCount, 3_600_000
+	coarseN := run(coarse)
+	if coarseN == 0 {
+		t.Error("aligned 1h count query consumed no downsampled buckets")
+	}
+	if coarseN >= fineN {
+		t.Errorf("1h query read %d buckets, 5m read %d; coarser resolution should read fewer", coarseN, fineN)
+	}
+
+	for _, agg := range []Agg{AggSum, AggAvg} {
+		q := base
+		q.Agg, q.StepMS = agg, 300_000
+		if n := run(q); n != 0 {
+			t.Errorf("agg %v consumed %d downsampled buckets, want 0 (decodes raw for bit-exactness)", agg, n)
+		}
+	}
+
+	unaligned := base
+	unaligned.Agg, unaligned.StepMS = AggMax, 300_000
+	unaligned.From, unaligned.To = 137, span+137 // grid buckets straddle query buckets
+	if n := run(unaligned); n != 0 {
+		t.Errorf("unaligned From consumed %d downsampled buckets, want 0 (raw fallback)", n)
+	}
+}

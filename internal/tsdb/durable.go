@@ -36,6 +36,20 @@ type DurabilityOptions struct {
 	RetentionMS int64
 	// SegmentBytes is the WAL segment roll threshold (default 8 MiB).
 	SegmentBytes int64
+	// CompactInterval is the cadence of the background compactor that
+	// merges adjacent small blocks and builds downsampled companions
+	// (default 5m; negative disables the background passes — compaction
+	// then only happens via Sharded.Compact).
+	CompactInterval time.Duration
+	// CompactMaxBlockBytes caps a merged block's chunk bytes (default
+	// 64 MiB): adjacent blocks are merged only while their combined
+	// chunk data stays under it, so compaction converges instead of
+	// rewriting its own output forever.
+	CompactMaxBlockBytes int64
+	// Downsample enables the 5m/1h downsampled companion files that
+	// aggregated queries with coarse steps consume without touching
+	// chunk data.
+	Downsample bool
 }
 
 func (o DurabilityOptions) withDefaults() DurabilityOptions {
@@ -47,6 +61,12 @@ func (o DurabilityOptions) withDefaults() DurabilityOptions {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 8 << 20
+	}
+	if o.CompactInterval == 0 {
+		o.CompactInterval = 5 * time.Minute
+	}
+	if o.CompactMaxBlockBytes <= 0 {
+		o.CompactMaxBlockBytes = 64 << 20
 	}
 	return o
 }
@@ -231,6 +251,10 @@ func OpenSharded(n int, opts DurabilityOptions) (*Sharded, error) {
 	if opts.FlushInterval > 0 {
 		d.wg.Add(1)
 		go d.flushLoop(s)
+	}
+	if opts.CompactInterval > 0 {
+		d.wg.Add(1)
+		go d.compactLoop()
 	}
 	return s, nil
 }
@@ -589,6 +613,38 @@ func (d *durable) scanBlocks(key string, from, to int64, sink pointSink) error {
 	}
 	if sr, ok := d.flushing[key]; ok {
 		if err := sr.scanRange(from, to, sink, d.tel); err != nil {
+			return fmt.Errorf("tsdb: corrupt block in flushing %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// scanBlocksAgg streams the persisted points for key with T in
+// [q.From, q.To) into an aggregated query's accumulator, in the same
+// canonical order as scanBlocks — but a block whose downsampled
+// companion provably reproduces what decoding would feed is consumed
+// from the companion's bucket summaries instead of its chunks (see
+// scanDownsampled), which is how coarse-step queries over compacted
+// history skip chunk reads entirely.
+func (d *durable) scanBlocksAgg(key string, q RangeQuery, acc *aggregator) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, b := range d.blocks {
+		if b.meta.MaxT < q.From || b.meta.MinT >= q.To {
+			continue
+		}
+		if !b.hasSeries(key) {
+			continue
+		}
+		if scanDownsampled(b, key, q, acc, d.tel) {
+			continue
+		}
+		if err := b.scan(key, q.From, q.To, acc, d.tel); err != nil {
+			return err
+		}
+	}
+	if sr, ok := d.flushing[key]; ok {
+		if err := sr.scanRange(q.From, q.To, acc, d.tel); err != nil {
 			return fmt.Errorf("tsdb: corrupt block in flushing %q: %w", key, err)
 		}
 	}

@@ -625,7 +625,7 @@ func (s *Sharded) querySeries(key, component, metric string, q RangeQuery) ([]Po
 func (s *Sharded) aggregateKeyLocked(key string, q RangeQuery) ([]Point, error) {
 	acc := newAggregator(q.Agg, q.From, q.StepMS)
 	if s.dur != nil {
-		if err := s.dur.scanBlocks(key, q.From, q.To, acc); err != nil {
+		if err := s.dur.scanBlocksAgg(key, q, acc); err != nil {
 			return nil, err
 		}
 	}

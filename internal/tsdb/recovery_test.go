@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -18,7 +20,7 @@ import (
 // engine already put on disk.
 func openCrashable(t *testing.T, dir string, shards int) *Sharded {
 	t.Helper()
-	s, err := OpenSharded(shards, DurabilityOptions{Dir: dir, Fsync: FsyncNever, FlushInterval: -1})
+	s, err := OpenSharded(shards, DurabilityOptions{Dir: dir, Fsync: FsyncNever, FlushInterval: -1, CompactInterval: -1})
 	if err != nil {
 		t.Fatalf("OpenSharded(%s): %v", dir, err)
 	}
@@ -640,4 +642,177 @@ func TestDurableConcurrentIngestCheckpointQuery(t *testing.T) {
 			t.Errorf("w%d: %d points, want %d", w, len(pts), batchesPerWriter)
 		}
 	}
+}
+
+// copyDirRecursive copies a directory tree — the crash-simulation
+// primitive: block directories are preserved aside before compaction
+// deletes them, then restored to recreate the exact on-disk state of a
+// hard stop inside the compaction protocol.
+func copyDirRecursive(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyDirRecursive(t, s, d)
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// listBlockDirs returns the published block directory names under a
+// store's blocks dir, sorted.
+func listBlockDirs(t *testing.T, blocksDir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(blocksDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), blockTmpPrefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestDurableRecoveryCompactionTmpDir simulates a hard stop in the
+// first compaction crash window: the merged block was still being built
+// under its tmp- prefix, the rename never happened. Recovery must remove
+// the tmp directory and serve exactly the uncompacted contents.
+func TestDurableRecoveryCompactionTmpDir(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 3)
+	twin := openCrashable(t, t.TempDir(), 3)
+	for i := 0; i < 8; i++ {
+		recoveryWrite(t, recoveryBatch(i, 5, 3), s, twin)
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fabricate the interrupted merge: a half-built merged block is a
+	// tmp- directory with arbitrary contents (here: a copy of a source).
+	blocksDir := filepath.Join(dir, "blocks")
+	sources := listBlockDirs(t, blocksDir)
+	if len(sources) == 0 {
+		t.Fatal("no blocks on disk")
+	}
+	tmpDir := filepath.Join(blocksDir, blockTmpPrefix+sources[0])
+	copyDirRecursive(t, filepath.Join(blocksDir, sources[0]), tmpDir)
+
+	// Hard stop (no Close), reopen: tmp dir cleaned, bytes unchanged.
+	re := openCrashable(t, dir, 3)
+	defer re.Close()
+	if _, err := os.Stat(tmpDir); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("tmp compaction dir survived recovery: %v", err)
+	}
+	assertSameContents(t, re, twin, "tmp-dir crash recovery")
+	if got, want := re.Stats().Points, twin.Stats().Points; got != want {
+		t.Errorf("Points = %d, want %d", got, want)
+	}
+}
+
+// TestDurableRecoveryCompactionCrashWindow simulates a hard stop in the
+// second compaction crash window: the merged block's rename succeeded
+// but the source blocks were not yet deleted, so the store directory
+// holds the points twice. Recovery must recognize the sources as covered
+// by the merged block's sequence range, delete them, and serve results
+// byte-identical to an uncompacted reference store — with Stats.Points
+// counted once, not twice.
+func TestDurableRecoveryCompactionCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 4)
+	twin := openCrashable(t, t.TempDir(), 4)
+	for i := 0; i < 12; i++ {
+		recoveryWrite(t, recoveryBatch(i, 6, 4), s, twin)
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocksDir := filepath.Join(dir, "blocks")
+	sources := listBlockDirs(t, blocksDir)
+	aside := t.TempDir()
+	for _, name := range sources {
+		copyDirRecursive(t, filepath.Join(blocksDir, name), filepath.Join(aside, name))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	merged := listBlockDirs(t, blocksDir)
+	if len(merged) >= len(sources) {
+		t.Fatalf("compaction left %d blocks, had %d sources", len(merged), len(sources))
+	}
+	// Recreate the crash window: sources back on disk beside the merged
+	// block, then a hard stop (no Close, nothing flushed).
+	for _, name := range sources {
+		if _, err := os.Stat(filepath.Join(blocksDir, name)); errors.Is(err, os.ErrNotExist) {
+			copyDirRecursive(t, filepath.Join(aside, name), filepath.Join(blocksDir, name))
+		}
+	}
+	re := openCrashable(t, dir, 4)
+	defer re.Close()
+	assertSameContents(t, re, twin, "crash-window recovery")
+	if got, want := re.Stats().Points, twin.Stats().Points; got != want {
+		t.Errorf("Points = %d, want %d (stale sources double-counted?)", got, want)
+	}
+	// Stale-source cleanup is physical, not just logical: the superseded
+	// directories are gone again after the open.
+	if got := listBlockDirs(t, blocksDir); !reflect.DeepEqual(got, merged) {
+		t.Errorf("blocks on disk after recovery = %v, want %v", got, merged)
+	}
+}
+
+// TestDurableRecoveryCompanionTmpFile simulates a hard stop while a
+// downsampled companion file was being written: the tmp- file inside the
+// block directory must be removed on open and the block must serve its
+// raw chunks unchanged.
+func TestDurableRecoveryCompanionTmpFile(t *testing.T) {
+	dir := t.TempDir()
+	s := openCrashable(t, dir, 2)
+	twin := openCrashable(t, t.TempDir(), 2)
+	for i := 0; i < 5; i++ {
+		recoveryWrite(t, recoveryBatch(i, 4, 3), s, twin)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	blocksDir := filepath.Join(dir, "blocks")
+	blocks := listBlockDirs(t, blocksDir)
+	if len(blocks) == 0 {
+		t.Fatal("no blocks on disk")
+	}
+	tmpFile := filepath.Join(blocksDir, blocks[0], blockTmpPrefix+downsampledName(300_000))
+	if err := os.WriteFile(tmpFile, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openCrashable(t, dir, 2)
+	defer re.Close()
+	if _, err := os.Stat(tmpFile); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("tmp companion file survived recovery: %v", err)
+	}
+	assertSameContents(t, re, twin, "companion tmp-file recovery")
 }

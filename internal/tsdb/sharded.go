@@ -340,6 +340,19 @@ func (s *Sharded) Checkpoint() error {
 	return s.dur.checkpoint(s)
 }
 
+// Compact runs one synchronous compaction pass: adjacent small blocks
+// are merged into larger ones (identical point set, identical query
+// bytes) and, with DurabilityOptions.Downsample set, missing 5m/1h
+// downsampled companions are built. The same pass runs in the
+// background every CompactInterval; this entry point exists for tests
+// and operational tooling. No-op on an in-memory store.
+func (s *Sharded) Compact() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.compact()
+}
+
 // Close stops the background fsync/flush tickers, checkpoints remaining
 // in-memory data, and closes WAL and block files. Safe to call twice;
 // no-op on an in-memory store. A store killed without Close recovers on

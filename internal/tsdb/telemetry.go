@@ -41,6 +41,22 @@ type StoreTelemetry struct {
 	ChunksSummarized *telemetry.Counter
 	// ChunksDecoded counts chunks actually decompressed for a scan.
 	ChunksDecoded *telemetry.Counter
+	// DownsampledBucketsRead counts downsampled buckets consumed by
+	// aggregated queries instead of raw chunk work.
+	DownsampledBucketsRead *telemetry.Counter
+	// CompactionsRun counts compaction passes started (merge planning +
+	// downsampling), whether or not any blocks were merged.
+	CompactionsRun *telemetry.Counter
+	// CompactionMergedBlocks counts source blocks retired by compaction.
+	CompactionMergedBlocks *telemetry.Counter
+	// CompactionReclaimedBytes counts chunk bytes freed by merges
+	// (source chunk bytes minus merged block chunk bytes).
+	CompactionReclaimedBytes *telemetry.Counter
+	// CompactionSeconds times individual merge runs (read sources, write
+	// merged block, swap, delete sources).
+	CompactionSeconds *telemetry.Histogram
+	// DownsampleSeconds times building one downsampled companion file.
+	DownsampleSeconds *telemetry.Histogram
 }
 
 // NewStoreTelemetry creates the storage instrument set on reg under
@@ -65,6 +81,18 @@ func NewStoreTelemetry(reg *telemetry.Registry) *StoreTelemetry {
 			"chunks consumed by aggregation push-down without decoding"),
 		ChunksDecoded: reg.Counter("sieve_query_chunks_decoded_total",
 			"chunks decompressed for scans"),
+		DownsampledBucketsRead: reg.Counter("sieve_query_downsampled_buckets_total",
+			"downsampled buckets consumed by aggregated queries instead of raw chunks"),
+		CompactionsRun: reg.Counter("sieve_compactions_total",
+			"compaction passes started"),
+		CompactionMergedBlocks: reg.Counter("sieve_compaction_merged_blocks_total",
+			"source blocks retired by compaction merges"),
+		CompactionReclaimedBytes: reg.Counter("sieve_compaction_reclaimed_bytes_total",
+			"chunk bytes freed by compaction merges"),
+		CompactionSeconds: reg.Histogram("sieve_compaction_seconds",
+			"merge-run duration: read sources, write merged block, swap, delete", nil),
+		DownsampleSeconds: reg.Histogram("sieve_downsample_seconds",
+			"downsampled-companion build duration per block and resolution", nil),
 	}
 }
 

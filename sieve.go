@@ -319,7 +319,10 @@ type Server = server.Server
 // width, recompute cadence, analysis parallelism, optional topology —
 // durability: DataDir enables the WAL + compressed-block storage
 // engine, Retention bounds its disk use, Fsync picks the WAL sync
-// policy ("always", "interval", "never") — and the incremental online
+// policy ("always", "interval", "never"), CompactInterval/
+// CompactMaxBlockBytes control the background block compactor, and
+// Downsample adds 5m/1h summaries for coarse-step aggregated queries
+// over long retention — and the incremental online
 // engine: Incremental carries window-cache + Granger-cache state across
 // pipeline cycles (tail-only store reads, bit-identical results),
 // WarmStart seeds clustering from the previous cycle and skips the
