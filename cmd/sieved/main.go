@@ -13,7 +13,23 @@
 //	       [-warm-start] [-warm-resweep-every N]
 //	       [-warm-silhouette-tolerance F] [-pprof-addr :6060]
 //	       [-self-scrape-interval 15s] [-slow-op-threshold 1s]
-//	       [-log-level info]
+//	       [-remote-write-component-label job] [-remote-write-max-bytes N]
+//	       [-remote-write-max-samples N] [-remote-write-retry-after 1s]
+//	       [-read-header-timeout 10s] [-read-timeout 5m] [-idle-timeout 2m]
+//	       [-shutdown-timeout 5s] [-log-level info]
+//
+// Besides the line-protocol POST /write, sieved accepts Prometheus
+// remote write 1.0 on POST /api/v1/write (snappy-compressed protobuf),
+// so a real Prometheus (remote_write: url: http://sieved:8086/api/v1/write)
+// or any remote-write-speaking agent can feed it directly. Labels map
+// deterministically onto sieve's component/metric model: __name__ is the
+// metric, the label named by -remote-write-component-label (default
+// "job") is the component, and all remaining labels fold into the metric
+// name as a sorted {k=v,...} suffix. Oversized requests are rejected
+// with 413 (decompressed size over -remote-write-max-bytes, checked
+// before allocation) or 429 + Retry-After (over
+// -remote-write-max-samples), so a misbehaving sender backs off instead
+// of taking the ingest edge down.
 //
 // With -data-dir the store is durable: writes go through a per-shard
 // write-ahead log and are periodically sealed into Gorilla-compressed
@@ -104,6 +120,14 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	selfScrapeInterval := flag.Duration("self-scrape-interval", 0, "write own telemetry into the store under the reserved \"sieve\" component every interval (0 = disabled)")
 	slowOpThreshold := flag.Duration("slow-op-threshold", 0, "retain requests and pipeline cycles slower than this in /debug/traces (0 = default 1s, negative = disabled)")
+	remoteWriteComponentLabel := flag.String("remote-write-component-label", "", "Prometheus label mapped to sieve's component on /api/v1/write (empty = default \"job\")")
+	remoteWriteMaxBytes := flag.Int64("remote-write-max-bytes", 0, "decompressed-size cap per /api/v1/write request, rejected with 413 (0 = default 64 MiB)")
+	remoteWriteMaxSamples := flag.Int("remote-write-max-samples", 0, "sample cap per /api/v1/write request, rejected with 429 + Retry-After (0 = default 1000000)")
+	remoteWriteRetryAfter := flag.Duration("remote-write-retry-after", 0, "backoff advertised by the 429 Retry-After header (0 = default 1s)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 0, "HTTP header read timeout, the slowloris bound (0 = default 10s, negative = disabled)")
+	readTimeout := flag.Duration("read-timeout", 0, "HTTP full-request read timeout (0 = default 5m, negative = disabled)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP keep-alive idle timeout (0 = default 2m, negative = disabled)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "graceful drain bound before in-flight connections are force-closed (0 = default 5s)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	flag.Parse()
 
@@ -136,6 +160,15 @@ func main() {
 		WarmSilhouetteTolerance: *warmSilhouetteTolerance,
 		SelfScrapeInterval:      *selfScrapeInterval,
 		SlowOpThreshold:         *slowOpThreshold,
+
+		RemoteWriteComponentLabel: *remoteWriteComponentLabel,
+		RemoteWriteMaxBytes:       *remoteWriteMaxBytes,
+		RemoteWriteMaxSamples:     *remoteWriteMaxSamples,
+		RemoteWriteRetryAfter:     *remoteWriteRetryAfter,
+		ReadHeaderTimeout:         *readHeaderTimeout,
+		ReadTimeout:               *readTimeout,
+		IdleTimeout:               *idleTimeout,
+		ShutdownTimeout:           *shutdownTimeout,
 	}
 	srv, err := sieve.NewServer(opts)
 	if err != nil {

@@ -8,7 +8,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"github.com/sieve-microservices/sieve/internal/promremote"
+	"github.com/sieve-microservices/sieve/internal/snappy"
 	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
@@ -51,20 +54,34 @@ type ingestRow struct {
 
 var ingestBench struct {
 	sync.Mutex
-	rows map[string]ingestRow
+	rows  map[string]ingestRow
+	order []string
+}
+
+// recordIngestRow accumulates one result row in first-recorded order, so
+// BenchmarkShardedIngest and BenchmarkRemoteWriteIngest land in the same
+// BENCH_ingest.json regardless of which runs (the other's rows are
+// simply absent).
+func recordIngestRow(r ingestRow) {
+	ingestBench.Lock()
+	defer ingestBench.Unlock()
+	if ingestBench.rows == nil {
+		ingestBench.rows = map[string]ingestRow{}
+	}
+	if _, ok := ingestBench.rows[r.Name]; !ok {
+		ingestBench.order = append(ingestBench.order, r.Name)
+	}
+	ingestBench.rows[r.Name] = r
 }
 
 // flushIngestJSON rewrites BENCH_ingest.json from the accumulated rows
-// so the ingestion-throughput trajectory is tracked across PRs. Rows are
-// emitted in fixed case order.
-func flushIngestJSON(order []string) {
+// so the ingestion-throughput trajectory is tracked across PRs.
+func flushIngestJSON() {
 	ingestBench.Lock()
 	defer ingestBench.Unlock()
 	var rows []ingestRow
-	for _, name := range order {
-		if r, ok := ingestBench.rows[name]; ok {
-			rows = append(rows, r)
-		}
+	for _, name := range ingestBench.order {
+		rows = append(rows, ingestBench.rows[name])
 	}
 	if len(rows) == 0 {
 		return
@@ -75,7 +92,7 @@ func flushIngestJSON(order []string) {
 		GoVersion  string      `json:"go_version"`
 		Results    []ingestRow `json:"results"`
 	}{
-		Benchmark:  "BenchmarkShardedIngest",
+		Benchmark:  "BenchmarkShardedIngest+BenchmarkRemoteWriteIngest",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 		Results:    rows,
@@ -107,10 +124,6 @@ func BenchmarkShardedIngest(b *testing.B) {
 	// shards=4 row: the delta between the two is the WAL's ingest cost
 	// (encode + CRC + buffered write; fsync rides the background ticker).
 	cases = append(cases, tc{"shards=4+wal", 4, true})
-	order := make([]string, len(cases))
-	for i, c := range cases {
-		order[i] = c.name
-	}
 
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -151,19 +164,118 @@ func BenchmarkShardedIngest(b *testing.B) {
 			}
 			pps := float64(ingestPointsPerBatch) * float64(b.N) / elapsed
 			b.ReportMetric(pps, "points/s")
-			ingestBench.Lock()
-			if ingestBench.rows == nil {
-				ingestBench.rows = map[string]ingestRow{}
-			}
-			ingestBench.rows[c.name] = ingestRow{
+			recordIngestRow(ingestRow{
 				Name:         c.name,
 				Shards:       c.shards,
 				PointsPerOp:  ingestPointsPerBatch,
 				NsPerOp:      b.Elapsed().Seconds() * 1e9 / float64(b.N),
 				PointsPerSec: pps,
-			}
-			ingestBench.Unlock()
+			})
 		})
 	}
-	flushIngestJSON(order)
+	flushIngestJSON()
+}
+
+// remotePayloads renders the exact batches of ingestPayloads as
+// snappy-compressed remote-write bodies: one TimeSeries per series,
+// labeled {__name__: metric, job: component}, as Client.WriteRemote and
+// any real Prometheus sender would put them on the wire.
+func remotePayloads() [][]byte {
+	payloads := ingestPayloads()
+	bodies := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		samples, err := tsdb.ParseLineProtocol(p)
+		if err != nil {
+			panic(err)
+		}
+		var req promremote.WriteRequest
+		index := map[string]int{}
+		for _, s := range samples {
+			key := s.Key()
+			j, ok := index[key]
+			if !ok {
+				j = len(req.TimeSeries)
+				index[key] = j
+				req.TimeSeries = append(req.TimeSeries, promremote.TimeSeries{
+					Labels: []promremote.Label{
+						{Name: promremote.MetricNameLabel, Value: s.Metric},
+						{Name: "job", Value: s.Component},
+					},
+				})
+			}
+			req.TimeSeries[j].Samples = append(req.TimeSeries[j].Samples,
+				promremote.Sample{Value: s.V, TimestampMS: s.T})
+		}
+		bodies[i] = snappy.Encode(promremote.Marshal(&req))
+	}
+	return bodies
+}
+
+// BenchmarkRemoteWriteIngest measures the full remote-write receive
+// path — snappy decode, protobuf unmarshal, label mapping, and the same
+// IngestParsed call /write ends in — over pre-encoded wire bodies
+// carrying the identical points as BenchmarkShardedIngest, so the two
+// families of BENCH_ingest.json rows are directly comparable per
+// sample. Target: at most ~1.5x the line-protocol cost per sample.
+func BenchmarkRemoteWriteIngest(b *testing.B) {
+	bodies := remotePayloads()
+	for _, shards := range []int{1, 4} {
+		name := fmt.Sprintf("remote-write/shards=%d", shards)
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			store := tsdb.NewSharded(shards)
+			var idx atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					body := bodies[int(idx.Add(1))%len(bodies)]
+					start := time.Now()
+					plain, err := snappy.Decode(body)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					req, err := promremote.Unmarshal(plain)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					samples := make([]tsdb.Sample, 0, req.SampleCount())
+					for i := range req.TimeSeries {
+						ts := &req.TimeSeries[i]
+						component, metric, err := promremote.MapSeries(ts.Labels, "job")
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						for _, smp := range ts.Samples {
+							samples = append(samples, tsdb.Sample{
+								Component: component, Metric: metric,
+								T: smp.TimestampMS, V: smp.Value,
+							})
+						}
+					}
+					if _, err := store.IngestParsed(samples, len(body), start); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed <= 0 {
+				return
+			}
+			pps := float64(ingestPointsPerBatch) * float64(b.N) / elapsed
+			b.ReportMetric(pps, "points/s")
+			recordIngestRow(ingestRow{
+				Name:         name,
+				Shards:       shards,
+				PointsPerOp:  ingestPointsPerBatch,
+				NsPerOp:      b.Elapsed().Seconds() * 1e9 / float64(b.N),
+				PointsPerSec: pps,
+			})
+		})
+	}
+	flushIngestJSON()
 }

@@ -1,0 +1,448 @@
+// Package promremote implements the Prometheus remote-write 1.0 wire
+// payload — a snappy-compressed protobuf WriteRequest — with zero
+// dependencies: a hand-rolled protobuf wire-format decoder (and an
+// encoder for the client and tests) covering exactly the fields the
+// receiver consumes, plus the deterministic label→series mapping that
+// turns a Prometheus metric into sieve's (component, metric) model.
+//
+// The message subset (prometheus/prompb types, proto3 field numbers):
+//
+//	WriteRequest { repeated TimeSeries timeseries = 1; }
+//	TimeSeries   { repeated Label labels = 1; repeated Sample samples = 2; }
+//	Label        { string name = 1; string value = 2; }
+//	Sample       { double value = 1; int64 timestamp = 2; }
+//
+// Unknown fields are skipped (forward compatibility: real senders attach
+// metadata and exemplars); unknown wire types, truncated or overlong
+// varints, and nested lengths that overrun their enclosing message are
+// errors. The decoder is non-recursive and allocates proportionally to
+// the decoded content, so a fuzzer-shaped input cannot blow the stack or
+// amplify memory beyond its own size.
+package promremote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MetricNameLabel is the reserved Prometheus label carrying the metric
+// name.
+const MetricNameLabel = "__name__"
+
+// ErrCorrupt reports an undecodable protobuf payload.
+var ErrCorrupt = errors.New("promremote: corrupt protobuf payload")
+
+// Label is one name/value pair of a series' identity.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one observation: value at a millisecond timestamp (the
+// remote-write wire unit, which is also sieve's native unit).
+type Sample struct {
+	Value       float64
+	TimestampMS int64
+}
+
+// TimeSeries is one labeled series with its samples.
+type TimeSeries struct {
+	Labels  []Label
+	Samples []Sample
+}
+
+// WriteRequest is the decoded request body.
+type WriteRequest struct {
+	TimeSeries []TimeSeries
+}
+
+// SampleCount returns the total number of samples across all series —
+// the unit the server's per-request limit is expressed in.
+func (w *WriteRequest) SampleCount() int {
+	n := 0
+	for i := range w.TimeSeries {
+		n += len(w.TimeSeries[i].Samples)
+	}
+	return n
+}
+
+// protobuf wire types.
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireLen    = 2
+	wireI32    = 5
+)
+
+// Unmarshal decodes a WriteRequest from protobuf wire format.
+//
+// The input is converted to one string up front; every label name and
+// value is then a zero-allocation substring of it, the same trick the
+// line-protocol parser uses to keep ingest allocation flat. That is safe
+// because the store never retains sample strings — series keys are fresh
+// concatenations and the WAL copies bytes — so the backing buffer dies
+// with the request. A counting pre-pass sizes every slice exactly, so
+// decoding a request costs one buffer conversion plus two short slice
+// allocations per series.
+func Unmarshal(data []byte) (*WriteRequest, error) {
+	s := string(data)
+	n, err := countMessages(s, 1)
+	if err != nil {
+		return nil, err
+	}
+	w := WriteRequest{TimeSeries: make([]TimeSeries, 0, n)}
+	for len(s) > 0 {
+		field, typ, rest, err := readTag(s)
+		if err != nil {
+			return nil, err
+		}
+		s = rest
+		if field == 1 && typ == wireLen {
+			msg, rest, err := readBytes(s)
+			if err != nil {
+				return nil, err
+			}
+			s = rest
+			ts, err := unmarshalTimeSeries(msg)
+			if err != nil {
+				return nil, err
+			}
+			w.TimeSeries = append(w.TimeSeries, ts)
+			continue
+		}
+		if s, err = skipField(s, typ); err != nil {
+			return nil, err
+		}
+	}
+	return &w, nil
+}
+
+// countMessages skims data counting length-delimited occurrences of
+// field, validating nothing beyond what a skip requires — the decode
+// pass re-checks everything.
+func countMessages(data string, field int) (int, error) {
+	n := 0
+	for len(data) > 0 {
+		f, typ, rest, err := readTag(data)
+		if err != nil {
+			return 0, err
+		}
+		data = rest
+		if f == field && typ == wireLen {
+			n++
+		}
+		if data, err = skipField(data, typ); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+func unmarshalTimeSeries(data string) (TimeSeries, error) {
+	var ts TimeSeries
+	nLabels, nSamples := 0, 0
+	for s := data; len(s) > 0; {
+		f, typ, rest, err := readTag(s)
+		if err != nil {
+			return ts, err
+		}
+		s = rest
+		switch {
+		case f == 1 && typ == wireLen:
+			nLabels++
+		case f == 2 && typ == wireLen:
+			nSamples++
+		}
+		if s, err = skipField(s, typ); err != nil {
+			return ts, err
+		}
+	}
+	if nLabels > 0 {
+		ts.Labels = make([]Label, 0, nLabels)
+	}
+	if nSamples > 0 {
+		ts.Samples = make([]Sample, 0, nSamples)
+	}
+	for len(data) > 0 {
+		field, typ, rest, err := readTag(data)
+		if err != nil {
+			return ts, err
+		}
+		data = rest
+		if typ == wireLen && (field == 1 || field == 2) {
+			msg, rest, err := readBytes(data)
+			if err != nil {
+				return ts, err
+			}
+			data = rest
+			switch field {
+			case 1:
+				l, err := unmarshalLabel(msg)
+				if err != nil {
+					return ts, err
+				}
+				ts.Labels = append(ts.Labels, l)
+			case 2:
+				s, err := unmarshalSample(msg)
+				if err != nil {
+					return ts, err
+				}
+				ts.Samples = append(ts.Samples, s)
+			}
+			continue
+		}
+		if data, err = skipField(data, typ); err != nil {
+			return ts, err
+		}
+	}
+	return ts, nil
+}
+
+func unmarshalLabel(data string) (Label, error) {
+	var l Label
+	for len(data) > 0 {
+		field, typ, rest, err := readTag(data)
+		if err != nil {
+			return l, err
+		}
+		data = rest
+		if typ == wireLen && (field == 1 || field == 2) {
+			b, rest, err := readBytes(data)
+			if err != nil {
+				return l, err
+			}
+			data = rest
+			if field == 1 {
+				l.Name = b
+			} else {
+				l.Value = b
+			}
+			continue
+		}
+		if data, err = skipField(data, typ); err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+func unmarshalSample(data string) (Sample, error) {
+	var s Sample
+	for len(data) > 0 {
+		field, typ, rest, err := readTag(data)
+		if err != nil {
+			return s, err
+		}
+		data = rest
+		switch {
+		case field == 1 && typ == wireI64:
+			if len(data) < 8 {
+				return s, ErrCorrupt
+			}
+			s.Value = math.Float64frombits(le64(data))
+			data = data[8:]
+		case field == 2 && typ == wireVarint:
+			v, rest, err := readVarint(data)
+			if err != nil {
+				return s, err
+			}
+			data = rest
+			s.TimestampMS = int64(v)
+		default:
+			var err error
+			if data, err = skipField(data, typ); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// le64 reads a little-endian uint64 from the first 8 bytes of s (caller
+// checked the length) — binary.LittleEndian needs a []byte, and
+// converting would allocate.
+func le64(s string) uint64 {
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+
+// readVarint decodes a base-128 varint, rejecting truncated input and
+// encodings longer than 10 bytes or carrying bits past the 64th.
+func readVarint(data string) (uint64, string, error) {
+	var v uint64
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		if i == 9 && b > 1 {
+			return 0, "", ErrCorrupt // overflows 64 bits
+		}
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, data[i+1:], nil
+		}
+		if i == 9 {
+			return 0, "", ErrCorrupt // 11th continuation byte
+		}
+	}
+	return 0, "", ErrCorrupt
+}
+
+func readTag(data string) (field int, typ int, rest string, err error) {
+	v, rest, err := readVarint(data)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if v>>3 == 0 || v>>3 > math.MaxInt32 {
+		return 0, 0, "", ErrCorrupt
+	}
+	return int(v >> 3), int(v & 7), rest, nil
+}
+
+// readBytes decodes a length-delimited field, rejecting lengths that
+// overrun the enclosing message.
+func readBytes(data string) (string, string, error) {
+	n, rest, err := readVarint(data)
+	if err != nil {
+		return "", "", err
+	}
+	if n > uint64(len(rest)) {
+		return "", "", ErrCorrupt
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func skipField(data string, typ int) (string, error) {
+	switch typ {
+	case wireVarint:
+		_, rest, err := readVarint(data)
+		return rest, err
+	case wireI64:
+		if len(data) < 8 {
+			return "", ErrCorrupt
+		}
+		return data[8:], nil
+	case wireLen:
+		_, rest, err := readBytes(data)
+		return rest, err
+	case wireI32:
+		if len(data) < 4 {
+			return "", ErrCorrupt
+		}
+		return data[4:], nil
+	default:
+		// Groups (3/4) are pre-proto3 and never valid here.
+		return "", ErrCorrupt
+	}
+}
+
+// Marshal encodes a WriteRequest into protobuf wire format, fields in
+// ascending number order — byte-compatible with what prompb produces for
+// the same message, so the tests double as an interop pin.
+func Marshal(w *WriteRequest) []byte {
+	var dst []byte
+	for i := range w.TimeSeries {
+		dst = appendMessage(dst, 1, marshalTimeSeries(&w.TimeSeries[i]))
+	}
+	return dst
+}
+
+func marshalTimeSeries(ts *TimeSeries) []byte {
+	var dst []byte
+	for _, l := range ts.Labels {
+		var lb []byte
+		lb = appendMessage(lb, 1, []byte(l.Name))
+		lb = appendMessage(lb, 2, []byte(l.Value))
+		dst = appendMessage(dst, 1, lb)
+	}
+	for _, s := range ts.Samples {
+		var sb []byte
+		sb = append(sb, 1<<3|wireI64)
+		sb = binary.LittleEndian.AppendUint64(sb, math.Float64bits(s.Value))
+		sb = append(sb, 2<<3|wireVarint)
+		sb = binary.AppendUvarint(sb, uint64(s.TimestampMS))
+		dst = appendMessage(dst, 2, sb)
+	}
+	return dst
+}
+
+func appendMessage(dst []byte, field int, msg []byte) []byte {
+	dst = append(dst, byte(field<<3|wireLen))
+	dst = binary.AppendUvarint(dst, uint64(len(msg)))
+	return append(dst, msg...)
+}
+
+// MapSeries resolves a label set to sieve's series identity:
+// MetricNameLabel becomes the metric, componentLabel (the receiver's
+// -remote-write-component-label, e.g. "job") becomes the component, and
+// every remaining label folds into the metric name as a sorted
+// `{k=v,...}` suffix — deterministic, so the same Prometheus series
+// always lands in the same sieve series regardless of label wire order.
+// Label names and values are sanitized: bytes that would collide with
+// the series-key ("/") or line-protocol (",", " ", "\n", "\r", "\t")
+// syntax become "_", keeping every mapped series round-trippable through
+// EncodeLineProtocol and glob-queryable.
+func MapSeries(labels []Label, componentLabel string) (component, metric string, err error) {
+	var name string
+	var rest []Label
+	for _, l := range labels {
+		switch l.Name {
+		case MetricNameLabel:
+			if name != "" {
+				return "", "", fmt.Errorf("promremote: duplicate %s label", MetricNameLabel)
+			}
+			name = l.Value
+		case componentLabel:
+			if component != "" {
+				return "", "", fmt.Errorf("promremote: duplicate %q label", componentLabel)
+			}
+			component = l.Value
+		default:
+			rest = append(rest, l)
+		}
+	}
+	if name == "" {
+		return "", "", fmt.Errorf("promremote: series has no %s label", MetricNameLabel)
+	}
+	if component == "" {
+		return "", "", fmt.Errorf("promremote: series has no %q label (the component label the receiver maps on)", componentLabel)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
+	for i := 1; i < len(rest); i++ {
+		if rest[i].Name == rest[i-1].Name {
+			return "", "", fmt.Errorf("promremote: duplicate %q label", rest[i].Name)
+		}
+	}
+	metric = sanitize(name)
+	if len(rest) > 0 {
+		var b strings.Builder
+		b.WriteString(metric)
+		b.WriteByte('{')
+		for i, l := range rest {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(sanitize(l.Name))
+			b.WriteByte('=')
+			b.WriteString(sanitize(l.Value))
+		}
+		b.WriteByte('}')
+		metric = b.String()
+	}
+	return sanitize(component), metric, nil
+}
+
+// sanitize replaces bytes that are structural in the series key, the
+// line protocol, or the fold syntax itself.
+func sanitize(s string) string {
+	clean := func(r rune) rune {
+		switch r {
+		case '/', ',', ' ', '\n', '\r', '\t', '=', '{', '}':
+			return '_'
+		}
+		return r
+	}
+	return strings.Map(clean, s)
+}

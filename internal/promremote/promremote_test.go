@@ -1,0 +1,248 @@
+package promremote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleRequest() *WriteRequest {
+	return &WriteRequest{TimeSeries: []TimeSeries{
+		{
+			Labels: []Label{
+				{Name: "__name__", Value: "http_requests_total"},
+				{Name: "job", Value: "api"},
+				{Name: "instance", Value: "10.0.0.1:8080"},
+			},
+			Samples: []Sample{{Value: 1027, TimestampMS: 1500}, {Value: 1031.25, TimestampMS: 2000}},
+		},
+		{
+			Labels:  []Label{{Name: "__name__", Value: "up"}, {Name: "job", Value: "db"}},
+			Samples: []Sample{{Value: 1, TimestampMS: 1500}},
+		},
+	}}
+}
+
+// TestMarshalUnmarshalRoundTrip pins the codec against itself.
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	want := sampleRequest()
+	got, err := Unmarshal(Marshal(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.SampleCount() != 3 {
+		t.Fatalf("SampleCount = %d, want 3", got.SampleCount())
+	}
+}
+
+// TestUnmarshalGoldenBytes decodes a hand-assembled wire payload —
+// independent of Marshal — so the decoder is pinned to the protobuf
+// spec, not to our encoder's habits. The bytes are what prompb would
+// produce for WriteRequest{ts{labels:[{__name__,up},{job,db}],
+// samples:[{1, 1500}]}}.
+func TestUnmarshalGoldenBytes(t *testing.T) {
+	label := func(name, value string) []byte {
+		var b []byte
+		b = append(b, 0x0a, byte(len(name)))
+		b = append(b, name...)
+		b = append(b, 0x12, byte(len(value)))
+		b = append(b, value...)
+		return b
+	}
+	l1, l2 := label("__name__", "up"), label("job", "db")
+	var sample []byte
+	sample = append(sample, 0x09) // field 1, 64-bit
+	sample = binary.LittleEndian.AppendUint64(sample, math.Float64bits(1))
+	sample = append(sample, 0x10, 0xdc, 0x0b) // field 2 varint 1500
+	var ts []byte
+	ts = append(ts, 0x0a, byte(len(l1)))
+	ts = append(ts, l1...)
+	ts = append(ts, 0x0a, byte(len(l2)))
+	ts = append(ts, l2...)
+	ts = append(ts, 0x12, byte(len(sample)))
+	ts = append(ts, sample...)
+	var req []byte
+	req = append(req, 0x0a, byte(len(ts)))
+	req = append(req, ts...)
+
+	got, err := Unmarshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &WriteRequest{TimeSeries: []TimeSeries{{
+		Labels:  []Label{{Name: "__name__", Value: "up"}, {Name: "job", Value: "db"}},
+		Samples: []Sample{{Value: 1, TimestampMS: 1500}},
+	}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// And our encoder must emit exactly these bytes (interop pin).
+	if enc := Marshal(want); !bytes.Equal(enc, req) {
+		t.Fatalf("Marshal differs from prompb layout:\n got %x\nwant %x", enc, req)
+	}
+}
+
+// TestUnmarshalSkipsUnknownFields pins forward compatibility: real
+// senders attach metadata (WriteRequest field 3) and exemplars
+// (TimeSeries field 3) that the receiver must ignore, not reject.
+func TestUnmarshalSkipsUnknownFields(t *testing.T) {
+	base := Marshal(sampleRequest())
+	var in []byte
+	// WriteRequest field 3 (metadata), length-delimited garbage.
+	in = append(in, 0x1a, 0x03, 0x01, 0x02, 0x03)
+	in = append(in, base...)
+	// Field 7 varint, field 9 fixed32, field 8 fixed64 at top level.
+	in = append(in, 0x38, 0xff, 0x01)
+	in = append(in, 0x4d, 1, 2, 3, 4)
+	in = append(in, 0x41, 1, 2, 3, 4, 5, 6, 7, 8)
+	got, err := Unmarshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRequest()) {
+		t.Fatal("unknown fields changed the decoded message")
+	}
+}
+
+// malformedPayloads is the corpus of invalid wire payloads: every entry
+// must error, never panic.
+func malformedPayloads() map[string][]byte {
+	valid := Marshal(sampleRequest())
+	truncated := append([]byte{}, valid[:len(valid)-3]...)
+	overlongLen := []byte{0x0a, 0xff, 0xff, 0xff, 0xff, 0x7f} // length way past input
+	return map[string][]byte{
+		"truncated-message":   truncated,
+		"truncated-varint":    {0x08, 0x80, 0x80, 0x80},
+		"overlong-varint":     {0x08, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+		"varint-overflow-bit": {0x08, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"nested-len-overflow": overlongLen,
+		"zero-field-number":   {0x02, 0x00},
+		"group-wire-type":     {0x0b},
+		"sample-short-double": {0x0a, 0x04, 0x12, 0x02, 0x09, 0x00},
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	for name, in := range malformedPayloads() {
+		t.Run(name, func(t *testing.T) {
+			if got, err := Unmarshal(in); err == nil {
+				t.Fatalf("Unmarshal accepted malformed payload: %+v", got)
+			}
+		})
+	}
+}
+
+func TestMapSeries(t *testing.T) {
+	cases := []struct {
+		name       string
+		labels     []Label
+		compLabel  string
+		wantComp   string
+		wantMetric string
+		wantErr    bool
+	}{
+		{
+			name: "plain",
+			labels: []Label{
+				{Name: "__name__", Value: "up"}, {Name: "job", Value: "db"},
+			},
+			compLabel: "job", wantComp: "db", wantMetric: "up",
+		},
+		{
+			name: "folds-sorted-regardless-of-wire-order",
+			labels: []Label{
+				{Name: "zone", Value: "b"}, {Name: "job", Value: "api"},
+				{Name: "__name__", Value: "http_requests_total"}, {Name: "code", Value: "200"},
+			},
+			compLabel: "job", wantComp: "api",
+			wantMetric: "http_requests_total{code=200,zone=b}",
+		},
+		{
+			name: "instance-as-component-label",
+			labels: []Label{
+				{Name: "__name__", Value: "up"}, {Name: "job", Value: "api"},
+				{Name: "instance", Value: "10.0.0.1:8080"},
+			},
+			compLabel: "instance", wantComp: "10.0.0.1:8080",
+			wantMetric: "up{job=api}",
+		},
+		{
+			name: "sanitizes-structural-bytes",
+			labels: []Label{
+				{Name: "__name__", Value: "disk/used bytes"}, {Name: "job", Value: "a,b c"},
+				{Name: "path", Value: "/var=data{x}"},
+			},
+			compLabel: "job", wantComp: "a_b_c",
+			wantMetric: "disk_used_bytes{path=_var_data_x_}",
+		},
+		{name: "missing-name", labels: []Label{{Name: "job", Value: "x"}}, compLabel: "job", wantErr: true},
+		{name: "missing-component", labels: []Label{{Name: "__name__", Value: "up"}}, compLabel: "job", wantErr: true},
+		{
+			name: "duplicate-label",
+			labels: []Label{
+				{Name: "__name__", Value: "up"}, {Name: "job", Value: "x"},
+				{Name: "a", Value: "1"}, {Name: "a", Value: "2"},
+			},
+			compLabel: "job", wantErr: true,
+		},
+		{
+			name: "duplicate-name-label",
+			labels: []Label{
+				{Name: "__name__", Value: "up"}, {Name: "__name__", Value: "down"},
+				{Name: "job", Value: "x"},
+			},
+			compLabel: "job", wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			comp, metric, err := MapSeries(tc.labels, tc.compLabel)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("MapSeries = %q/%q, want error", comp, metric)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comp != tc.wantComp || metric != tc.wantMetric {
+				t.Fatalf("MapSeries = %q/%q, want %q/%q", comp, metric, tc.wantComp, tc.wantMetric)
+			}
+		})
+	}
+}
+
+// FuzzRemoteWriteDecode: arbitrary bytes must never panic the decoder;
+// a payload that decodes must survive a Marshal/Unmarshal round trip
+// (unknown fields excepted — the re-marshal drops them, which is the
+// documented contract).
+func FuzzRemoteWriteDecode(f *testing.F) {
+	f.Add(Marshal(sampleRequest()))
+	f.Add([]byte{})
+	for _, in := range malformedPayloads() {
+		f.Add(in)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(Marshal(w))
+		if err != nil {
+			t.Fatalf("re-decode of re-marshal failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, w) {
+			t.Fatal("marshal/unmarshal round trip not a fixed point")
+		}
+		for _, ts := range w.TimeSeries {
+			// Mapping must be total: error or valid identity, no panics.
+			_, _, _ = MapSeries(ts.Labels, "job")
+		}
+	})
+}

@@ -16,6 +16,8 @@ import (
 
 	"github.com/sieve-microservices/sieve/internal/callgraph"
 	"github.com/sieve-microservices/sieve/internal/core"
+	"github.com/sieve-microservices/sieve/internal/promremote"
+	"github.com/sieve-microservices/sieve/internal/snappy"
 	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
@@ -23,6 +25,12 @@ import (
 // metrics.Collector pointed at a Client ships its scrapes over real HTTP
 // instead of into an in-process store — the wiring that lets the bundled
 // application simulators drive a sieved server end to end.
+//
+// Every call has a context-first variant (WriteContext, QueryContext,
+// ...) so callers in the repo's context-aware pipelines (DriveContext
+// etc.) can cancel an in-flight request instead of waiting out the full
+// client timeout against a hung server; the context-free methods are
+// wrappers over context.Background().
 type Client struct {
 	base string
 	hc   *http.Client
@@ -47,16 +55,16 @@ func NewClient(baseURL string) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// do issues a request and decodes the 2xx JSON body into out (skipped
-// when out is nil); non-2xx responses become errors carrying the
-// server's message.
-func (c *Client) do(method, path string, contentType string, body []byte, out any) error {
-	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+// do issues a request under ctx and decodes the 2xx JSON body into out
+// (skipped when out is nil); non-2xx responses become errors carrying
+// the server's message. hdr entries are set verbatim on the request.
+func (c *Client) do(ctx context.Context, method, path string, hdr map[string]string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -87,6 +95,22 @@ func (c *Client) do(method, path string, contentType string, body []byte, out an
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// ackedSamples extracts the stored-sample count from a 2xx write
+// response, distinguishing a missing ack header (a proxy or an
+// incompatible server swallowed it) from a malformed one (the offending
+// value is reported verbatim).
+func ackedSamples(h http.Header) (int, error) {
+	v := h.Get("X-Sieve-Samples")
+	if v == "" {
+		return 0, fmt.Errorf("server: missing X-Sieve-Samples ack header")
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("server: malformed X-Sieve-Samples ack header %q: %w", v, err)
+	}
+	return n, nil
+}
+
 // Write ships a line-protocol payload to POST /write and returns the
 // number of samples the server stored (tsdb.Writer). The count is
 // meaningful alongside a non-nil error: a multi-shard durable server
@@ -94,28 +118,91 @@ func (c *Client) do(method, path string, contentType string, body []byte, out an
 // payload prefix — so the count is for accounting and reconciliation
 // (via Query), never a resume cursor.
 func (c *Client) Write(payload []byte) (int, error) {
+	return c.WriteContext(context.Background(), payload)
+}
+
+// WriteContext is Write under a caller-controlled context.
+func (c *Client) WriteContext(ctx context.Context, payload []byte) (int, error) {
 	var h http.Header
-	if err := c.do(http.MethodPost, "/write", "text/plain; charset=utf-8", payload, &h); err != nil {
+	hdr := map[string]string{"Content-Type": "text/plain; charset=utf-8"}
+	if err := c.do(ctx, http.MethodPost, "/write", hdr, payload, &h); err != nil {
 		var ae *apiError
 		if errors.As(err, &ae) {
 			return ae.stored, err
 		}
 		return 0, err
 	}
-	n, err := strconv.Atoi(h.Get("X-Sieve-Samples"))
-	if err != nil {
-		return 0, fmt.Errorf("server: missing X-Sieve-Samples ack header")
-	}
-	return n, nil
+	return ackedSamples(h)
 }
 
 // WriteSamples encodes and ships decoded samples.
 func (c *Client) WriteSamples(samples []tsdb.Sample) (int, error) {
-	return c.Write(tsdb.EncodeLineProtocol(samples))
+	return c.WriteContext(context.Background(), tsdb.EncodeLineProtocol(samples))
+}
+
+// WriteRemote ships samples through POST /api/v1/write as a Prometheus
+// remote-write 1.0 request (snappy-compressed protobuf), the wire format
+// real agents speak — so loadgen and the simulators can exercise the
+// remote-write on-ramp end to end. Samples are grouped into one
+// TimeSeries per series in first-appearance order, labeled
+// {__name__: metric, job: component}; point the server's
+// RemoteWriteComponentLabel anywhere other than "job" and these writes
+// will be rejected, by design.
+func (c *Client) WriteRemote(samples []tsdb.Sample) (int, error) {
+	return c.WriteRemoteContext(context.Background(), samples)
+}
+
+// WriteRemoteContext is WriteRemote under a caller-controlled context.
+func (c *Client) WriteRemoteContext(ctx context.Context, samples []tsdb.Sample) (int, error) {
+	body := snappy.Encode(promremote.Marshal(remoteRequest(samples)))
+	hdr := map[string]string{
+		"Content-Type":                      "application/x-protobuf",
+		"Content-Encoding":                  "snappy",
+		"X-Prometheus-Remote-Write-Version": "0.1.0",
+	}
+	var h http.Header
+	if err := c.do(ctx, http.MethodPost, "/api/v1/write", hdr, body, &h); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return ae.stored, err
+		}
+		return 0, err
+	}
+	return ackedSamples(h)
+}
+
+// remoteRequest groups flat samples into a WriteRequest, one TimeSeries
+// per component/metric pair in first-appearance order.
+func remoteRequest(samples []tsdb.Sample) *promremote.WriteRequest {
+	var req promremote.WriteRequest
+	index := map[string]int{}
+	for _, s := range samples {
+		key := s.Key()
+		i, ok := index[key]
+		if !ok {
+			i = len(req.TimeSeries)
+			index[key] = i
+			req.TimeSeries = append(req.TimeSeries, promremote.TimeSeries{
+				Labels: []promremote.Label{
+					{Name: promremote.MetricNameLabel, Value: s.Metric},
+					{Name: "job", Value: s.Component},
+				},
+			})
+		}
+		req.TimeSeries[i].Samples = append(req.TimeSeries[i].Samples,
+			promremote.Sample{Value: s.V, TimestampMS: s.T})
+	}
+	return &req
 }
 
 // PostCallGraph uploads (replacing) the server's component topology.
 func (c *Client) PostCallGraph(g *callgraph.Graph) error {
+	return c.PostCallGraphContext(context.Background(), g)
+}
+
+// PostCallGraphContext is PostCallGraph under a caller-controlled
+// context.
+func (c *Client) PostCallGraphContext(ctx context.Context, g *callgraph.Graph) error {
 	var edges []CallEdge
 	for _, e := range g.Edges() {
 		edges = append(edges, CallEdge{Caller: e.Caller, Callee: e.Callee, Calls: e.Calls})
@@ -124,13 +211,18 @@ func (c *Client) PostCallGraph(g *callgraph.Graph) error {
 	if err != nil {
 		return err
 	}
-	return c.do(http.MethodPost, "/callgraph", "application/json", body, nil)
+	return c.do(ctx, http.MethodPost, "/callgraph", map[string]string{"Content-Type": "application/json"}, body, nil)
 }
 
 // RunPipeline forces one synchronous pipeline run.
 func (c *Client) RunPipeline() (*RunInfo, error) {
+	return c.RunPipelineContext(context.Background())
+}
+
+// RunPipelineContext is RunPipeline under a caller-controlled context.
+func (c *Client) RunPipelineContext(ctx context.Context) (*RunInfo, error) {
 	var info RunInfo
-	if err := c.do(http.MethodPost, "/run", "", nil, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/run", nil, nil, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -138,8 +230,13 @@ func (c *Client) RunPipeline() (*RunInfo, error) {
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (*StatsResponse, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats under a caller-controlled context.
+func (c *Client) StatsContext(ctx context.Context) (*StatsResponse, error) {
 	var st StatsResponse
-	if err := c.do(http.MethodGet, "/stats", "", nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -147,13 +244,18 @@ func (c *Client) Stats() (*StatsResponse, error) {
 
 // Query reads one series' points with T in [from, to).
 func (c *Client) Query(component, metric string, from, to int64) ([]tsdb.Point, error) {
+	return c.QueryContext(context.Background(), component, metric, from, to)
+}
+
+// QueryContext is Query under a caller-controlled context.
+func (c *Client) QueryContext(ctx context.Context, component, metric string, from, to int64) ([]tsdb.Point, error) {
 	q := url.Values{}
 	q.Set("component", component)
 	q.Set("metric", metric)
 	q.Set("from", strconv.FormatInt(from, 10))
 	q.Set("to", strconv.FormatInt(to, 10))
 	var resp QueryResponse
-	if err := c.do(http.MethodGet, "/query?"+q.Encode(), "", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/query?"+q.Encode(), nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Points, nil
@@ -168,6 +270,11 @@ func (c *Client) Query(component, metric string, from, to int64) ([]tsdb.Point, 
 // without Agg, which the wire format could not even express) fails here
 // exactly as it would against a local store.
 func (c *Client) QueryRange(q tsdb.RangeQuery) ([]tsdb.SeriesResult, error) {
+	return c.QueryRangeContext(context.Background(), q)
+}
+
+// QueryRangeContext is QueryRange under a caller-controlled context.
+func (c *Client) QueryRangeContext(ctx context.Context, q tsdb.RangeQuery) ([]tsdb.SeriesResult, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,7 +292,7 @@ func (c *Client) QueryRange(q tsdb.RangeQuery) ([]tsdb.SeriesResult, error) {
 		v.Set("step", strconv.FormatInt(q.StepMS, 10))
 	}
 	var resp QueryRangeResponse
-	if err := c.do(http.MethodGet, "/query_range?"+v.Encode(), "", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/query_range?"+v.Encode(), nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Results, nil
@@ -207,8 +314,13 @@ var ErrNoArtifact = errors.New("server: no artifact published yet")
 
 // Artifact fetches and decodes the latest artifact.
 func (c *Client) Artifact() (*ArtifactResult, error) {
+	return c.ArtifactContext(context.Background())
+}
+
+// ArtifactContext is Artifact under a caller-controlled context.
+func (c *Client) ArtifactContext(ctx context.Context) (*ArtifactResult, error) {
 	var env ArtifactEnvelope
-	if err := c.do(http.MethodGet, "/artifact", "", nil, &env); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/artifact", nil, nil, &env); err != nil {
 		var ae *apiError
 		if errors.As(err, &ae) && ae.status == http.StatusNotFound {
 			return nil, ErrNoArtifact
@@ -239,20 +351,45 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.serveListener(ctx, ln)
 }
 
+// timeoutOrOff maps the Options convention (0 = default applied in
+// withDefaults, negative = disabled) onto http.Server's (0 = no
+// timeout).
+func timeoutOrOff(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 func (s *Server) serveListener(ctx context.Context, ln net.Listener) error {
 	s.Start(ctx)
-	hs := &http.Server{Handler: s.mux}
+	// Header/read/idle timeouts bound what one misbehaving client can
+	// hold: without ReadHeaderTimeout a slowloris drips header bytes and
+	// keeps the connection (and its goroutine) forever.
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: timeoutOrOff(s.opts.ReadHeaderTimeout),
+		ReadTimeout:       timeoutOrOff(s.opts.ReadTimeout),
+		IdleTimeout:       timeoutOrOff(s.opts.IdleTimeout),
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownTimeout)
 		defer cancel()
-		_ = hs.Shutdown(sctx)
+		if err := hs.Shutdown(sctx); err != nil {
+			// Graceful drain timed out: in-flight requests (e.g. a
+			// writer stalled mid-body) are still connected. Force-close
+			// them before touching the store — Close() below checkpoints
+			// and closes the WAL, and a still-connected writer completing
+			// its body after that would write into a closed engine.
+			_ = hs.Close()
+		}
 		<-errc
 		// Graceful shutdown: with a durable store, checkpoint remaining
-		// memory into a block and close the WAL — only after no request
-		// can write anymore.
+		// memory into a block and close the WAL — only after no
+		// connection can deliver another write.
 		return s.Close()
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {

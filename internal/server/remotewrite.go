@@ -1,0 +1,181 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sieve-microservices/sieve/internal/promremote"
+	"github.com/sieve-microservices/sieve/internal/snappy"
+	"github.com/sieve-microservices/sieve/internal/tsdb"
+)
+
+// handleRemoteWrite is POST /api/v1/write: the Prometheus remote-write
+// 1.0 receiver. The body is a snappy-compressed protobuf WriteRequest;
+// labels map to sieve's model via promremote.MapSeries (__name__ →
+// metric, Options.RemoteWriteComponentLabel → component, the rest folded
+// into the metric name), and the mapped samples feed the exact same
+// IngestParsed path as /write — WAL coverage, partial-failure
+// accounting, reserved-component enforcement, and window-anchor
+// advancement are identical by construction (pinned by the equivalence
+// suite in remotewrite_test.go).
+//
+// Backpressure contract, checked in this order so nothing is stored on a
+// reject:
+//
+//	413 — decompressed size over RemoteWriteMaxBytes (read from the
+//	      snappy preamble, before any allocation)
+//	429 + Retry-After — more than RemoteWriteMaxSamples samples
+//	400 — undecodable snappy/protobuf, unmappable labels, or a
+//	      timestamp past the millisecond range
+//	500 — storage errors, as on /write (clients must retry, not drop)
+//
+// Non-finite sample values (Prometheus staleness markers are NaN) are
+// dropped and counted, not rejected: every live Prometheus sends them at
+// target churn, and failing the whole request would make the receiver
+// unusable against real agents.
+func (s *Server) handleRemoteWrite(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sp := s.tel.opRemoteWrite.Start()
+	defer func() {
+		s.tel.remoteWriteSeconds.ObserveSince(start)
+		sp.End()
+	}()
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	if err != nil {
+		s.writeErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.opts.MaxBodyBytes {
+		s.writeErrors.Add(1)
+		s.tel.remoteSizeRejects.Inc()
+		httpError(w, http.StatusRequestEntityTooLarge, "compressed payload exceeds %d bytes", s.opts.MaxBodyBytes)
+		return
+	}
+	sp.FieldInt("bytes", int64(len(body)))
+	// The preamble carries the decompressed length: enforce the limit
+	// before allocating, so a 4-byte bomb claiming 4 GiB costs nothing.
+	declen, _, err := snappy.DecodedLen(body)
+	if err != nil {
+		s.writeErrors.Add(1)
+		s.tel.remoteSnappyRejects.Inc()
+		httpError(w, http.StatusBadRequest, "snappy: undecodable preamble")
+		return
+	}
+	if int64(declen) > s.opts.RemoteWriteMaxBytes {
+		s.writeErrors.Add(1)
+		s.tel.remoteSizeRejects.Inc()
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"decompressed payload %d exceeds %d bytes", declen, s.opts.RemoteWriteMaxBytes)
+		return
+	}
+	plain, err := snappy.Decode(body)
+	if err != nil {
+		s.writeErrors.Add(1)
+		s.tel.remoteSnappyRejects.Inc()
+		httpError(w, http.StatusBadRequest, "snappy: %v", err)
+		return
+	}
+	req, err := promremote.Unmarshal(plain)
+	if err != nil {
+		s.writeErrors.Add(1)
+		s.tel.remoteProtoRejects.Inc()
+		httpError(w, http.StatusBadRequest, "protobuf: %v", err)
+		return
+	}
+	if c := req.SampleCount(); c > s.opts.RemoteWriteMaxSamples {
+		s.writeErrors.Add(1)
+		s.tel.remoteLimitRejects.Inc()
+		// Retry-After tells a well-behaved sender to back off and
+		// re-shard its batches rather than hammer the same oversized
+		// request.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RemoteWriteRetryAfter)))
+		httpError(w, http.StatusTooManyRequests,
+			"request carries %d samples, limit %d", c, s.opts.RemoteWriteMaxSamples)
+		return
+	}
+	samples := make([]tsdb.Sample, 0, req.SampleCount())
+	var batchMaxT int64
+	dropped := 0
+	for i := range req.TimeSeries {
+		ts := &req.TimeSeries[i]
+		component, metric, err := promremote.MapSeries(ts.Labels, s.opts.RemoteWriteComponentLabel)
+		if err != nil {
+			s.writeErrors.Add(1)
+			s.tel.remoteMappingRejects.Inc()
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if s.selfScrapeEnabled() && component == ReservedComponent {
+			s.writeErrors.Add(1)
+			s.tel.reservedRejects.Inc()
+			httpError(w, http.StatusBadRequest,
+				"component %q is reserved for self-telemetry while self-scrape is enabled", ReservedComponent)
+			return
+		}
+		for _, smp := range ts.Samples {
+			if math.IsNaN(smp.Value) || math.IsInf(smp.Value, 0) {
+				dropped++
+				continue
+			}
+			if smp.TimestampMS > tsdb.MaxTimestampMS {
+				// Same bound the line-protocol parser enforces: one
+				// poisoned timestamp would drag the analysis window into
+				// the far future forever.
+				s.writeErrors.Add(1)
+				s.tel.remoteMappingRejects.Inc()
+				httpError(w, http.StatusBadRequest,
+					"timestamp %d exceeds the millisecond range", smp.TimestampMS)
+				return
+			}
+			if smp.TimestampMS > batchMaxT {
+				batchMaxT = smp.TimestampMS
+			}
+			samples = append(samples, tsdb.Sample{
+				Component: component, Metric: metric,
+				T: smp.TimestampMS, V: smp.Value,
+			})
+		}
+	}
+	if dropped > 0 {
+		s.tel.remoteDroppedNonFinite.Add(uint64(dropped))
+	}
+	sp.FieldInt("samples", int64(len(samples)))
+	// Wire accounting charges the compressed bytes — that is what
+	// crossed the network.
+	n, err := s.store.IngestParsed(samples, len(body), start)
+	if err != nil {
+		s.writeErrors.Add(1)
+		s.samples.Add(int64(n))
+		s.tel.remoteIngestSamples.Add(uint64(n))
+		status := http.StatusBadRequest
+		if errors.Is(err, tsdb.ErrStorage) {
+			status = http.StatusInternalServerError
+			s.tel.storageErrors.Inc()
+		}
+		writeErrorBody(w, status, n, err)
+		return
+	}
+	s.writes.Add(1)
+	s.samples.Add(int64(n))
+	s.tel.remoteIngestSamples.Add(uint64(n))
+	if s.selfScrapeEnabled() {
+		s.advanceAppMaxTime(batchMaxT)
+	}
+	w.Header().Set("X-Sieve-Samples", strconv.Itoa(n))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// retryAfterSeconds renders a backoff duration as the whole-second
+// Retry-After form, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/sieve-microservices/sieve/internal/callgraph"
 	"github.com/sieve-microservices/sieve/internal/core"
 	"github.com/sieve-microservices/sieve/internal/granger"
+	"github.com/sieve-microservices/sieve/internal/promremote"
 	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
@@ -56,8 +57,40 @@ type Options struct {
 	// at runtime via POST /callgraph. With no topology at all the
 	// pipeline still runs, producing an empty dependency graph.
 	CallGraph *callgraph.Graph
-	// MaxBodyBytes bounds a single /write payload (default 32 MiB).
+	// MaxBodyBytes bounds a single /write payload and a single
+	// /api/v1/write compressed body (default 32 MiB).
 	MaxBodyBytes int64
+
+	// RemoteWriteComponentLabel is the Prometheus label the
+	// /api/v1/write receiver maps to sieve's component (default "job";
+	// "instance" is the other common choice). The reserved __name__
+	// label is always the metric and cannot be chosen here.
+	RemoteWriteComponentLabel string
+	// RemoteWriteMaxBytes bounds the decompressed size of one
+	// /api/v1/write request (default 64 MiB). The limit is enforced
+	// from the snappy preamble before any allocation; over-limit
+	// requests get 413.
+	RemoteWriteMaxBytes int64
+	// RemoteWriteMaxSamples bounds the samples in one /api/v1/write
+	// request (default 1,000,000). Over-limit requests get 429 with a
+	// Retry-After header so senders re-shard instead of hammering.
+	RemoteWriteMaxSamples int
+	// RemoteWriteRetryAfter is the backoff the 429 advertises (default
+	// 1s; sub-second values round up to the header's 1s floor).
+	RemoteWriteRetryAfter time.Duration
+
+	// ReadHeaderTimeout, ReadTimeout, and IdleTimeout configure the
+	// listener's http.Server (defaults 10s, 5m, 2m; negative disables
+	// one). Without them a single slow-headers client (slowloris) holds
+	// a connection — and eventually the whole accept queue — forever.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	// ShutdownTimeout bounds the graceful drain on shutdown (default
+	// 5s): past it, in-flight connections are force-closed before the
+	// store checkpoints, so a stalled writer can never race the final
+	// WAL checkpoint.
+	ShutdownTimeout time.Duration
 
 	// Incremental switches the online pipeline to the incremental
 	// engine: window ends are aligned down to the sampling grid so
@@ -165,6 +198,30 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
 	}
+	if o.RemoteWriteComponentLabel == "" {
+		o.RemoteWriteComponentLabel = "job"
+	}
+	if o.RemoteWriteMaxBytes <= 0 {
+		o.RemoteWriteMaxBytes = 64 << 20
+	}
+	if o.RemoteWriteMaxSamples <= 0 {
+		o.RemoteWriteMaxSamples = 1_000_000
+	}
+	if o.RemoteWriteRetryAfter <= 0 {
+		o.RemoteWriteRetryAfter = time.Second
+	}
+	if o.ReadHeaderTimeout == 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 5 * time.Minute
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.ShutdownTimeout <= 0 {
+		o.ShutdownTimeout = 5 * time.Second
+	}
 	if o.SelfScrapeClock == nil {
 		o.SelfScrapeClock = func() int64 { return time.Now().UnixMilli() }
 	}
@@ -260,6 +317,9 @@ func New(opts Options) (*Server, error) {
 	if opts.FullRecomputeEvery < 0 {
 		return nil, fmt.Errorf("server: negative FullRecomputeEvery %d", opts.FullRecomputeEvery)
 	}
+	if opts.RemoteWriteComponentLabel == promremote.MetricNameLabel {
+		return nil, fmt.Errorf("server: RemoteWriteComponentLabel cannot be the reserved %s label", promremote.MetricNameLabel)
+	}
 	var store *tsdb.Sharded
 	if opts.DataDir != "" {
 		policy, err := tsdb.ParseFsyncPolicy(opts.Fsync)
@@ -312,6 +372,7 @@ func New(opts Options) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /write", s.handleWrite)
+	mux.HandleFunc("POST /api/v1/write", s.handleRemoteWrite)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /query_range", s.handleQueryRange)
 	mux.HandleFunc("GET /stats", s.handleStats)

@@ -37,6 +37,20 @@ type telemetrySet struct {
 	reservedRejects *telemetry.Counter
 	storageErrors   *telemetry.Counter
 
+	// /api/v1/write (Prometheus remote write): latency, accepted
+	// samples, and the per-class reject split the backpressure contract
+	// documents — snappy (400), protobuf (400), label/timestamp mapping
+	// (400), size (413), sample limit (429) — plus dropped non-finite
+	// values (staleness markers), which are not rejects.
+	remoteWriteSeconds     *telemetry.Histogram
+	remoteIngestSamples    *telemetry.Counter
+	remoteSnappyRejects    *telemetry.Counter
+	remoteProtoRejects     *telemetry.Counter
+	remoteMappingRejects   *telemetry.Counter
+	remoteSizeRejects      *telemetry.Counter
+	remoteLimitRejects     *telemetry.Counter
+	remoteDroppedNonFinite *telemetry.Counter
+
 	// Query latency, split by how the engine can evaluate the request:
 	// push-down aggregations ride chunk summaries, decode aggregations
 	// must decompress, raw reads stream points out.
@@ -64,11 +78,12 @@ type telemetrySet struct {
 	selfScrapeErrors  *telemetry.Counter
 
 	// Slow-op tracing: one Op handle per traced operation.
-	ring    *telemetry.TraceRing
-	opWrite *telemetry.Op
-	opQuery *telemetry.Op
-	opRange *telemetry.Op
-	opCycle *telemetry.Op
+	ring          *telemetry.TraceRing
+	opWrite       *telemetry.Op
+	opRemoteWrite *telemetry.Op
+	opQuery       *telemetry.Op
+	opRange       *telemetry.Op
+	opCycle       *telemetry.Op
 }
 
 // newTelemetrySet builds the registry, every server instrument, the
@@ -91,6 +106,23 @@ func newTelemetrySet(store *tsdb.Sharded, slowOp time.Duration) *telemetrySet {
 			"/write payloads rejected for targeting the reserved self-telemetry component"),
 		storageErrors: reg.Counter("sieve_ingest_storage_errors_total",
 			"/write requests failed by the storage engine (WAL append/fsync)"),
+
+		remoteWriteSeconds: reg.Histogram("sieve_http_remote_write_seconds",
+			"POST /api/v1/write request latency (read + snappy + proto + map + store)", nil),
+		remoteIngestSamples: reg.Counter("sieve_remote_write_samples_total",
+			"samples accepted into the store via /api/v1/write"),
+		remoteSnappyRejects: reg.Counter("sieve_remote_write_snappy_rejects_total",
+			"/api/v1/write payloads rejected by the snappy decoder (400)"),
+		remoteProtoRejects: reg.Counter("sieve_remote_write_proto_rejects_total",
+			"/api/v1/write payloads rejected by the protobuf decoder (400)"),
+		remoteMappingRejects: reg.Counter("sieve_remote_write_mapping_rejects_total",
+			"/api/v1/write payloads rejected by label mapping or timestamp bounds (400)"),
+		remoteSizeRejects: reg.Counter("sieve_remote_write_size_rejects_total",
+			"/api/v1/write payloads rejected for compressed or decompressed size (413)"),
+		remoteLimitRejects: reg.Counter("sieve_remote_write_sample_limit_rejects_total",
+			"/api/v1/write payloads rejected for exceeding the per-request sample limit (429)"),
+		remoteDroppedNonFinite: reg.Counter("sieve_remote_write_dropped_nonfinite_total",
+			"non-finite remote-write sample values dropped (Prometheus staleness markers)"),
 
 		querySeconds: reg.Histogram("sieve_query_seconds",
 			"GET /query request latency", nil),
@@ -134,6 +166,7 @@ func newTelemetrySet(store *tsdb.Sharded, slowOp time.Duration) *telemetrySet {
 			"op", tr.Op, "ms", tr.Millis, "threshold", slowOp)
 	})
 	t.opWrite = t.ring.Op("write")
+	t.opRemoteWrite = t.ring.Op("remote_write")
 	t.opQuery = t.ring.Op("query")
 	t.opRange = t.ring.Op("query_range")
 	t.opCycle = t.ring.Op("pipeline_cycle")

@@ -90,12 +90,14 @@ func ParseLineProtocol(data []byte) ([]Sample, error) {
 
 var errNonFinite = fmt.Errorf("non-finite value")
 
-// maxTimestampMS bounds accepted timestamps (~35,000 years in ms). The
+// MaxTimestampMS bounds accepted timestamps (~35,000 years in ms). The
 // wire format is milliseconds; a value beyond this is unambiguously a
 // nanosecond/microsecond unit error (e.g. a Telegraf default), and
 // accepting one would permanently poison every store's MaxTime
 // high-water mark — and with it the server's sliding analysis window.
-const maxTimestampMS = int64(1) << 50
+// Exported so every ingest edge (line protocol here, remote write in
+// internal/server) enforces the same bound.
+const MaxTimestampMS = int64(1) << 50
 
 func parseLine(line string) (Sample, error) {
 	var s Sample
@@ -134,7 +136,7 @@ func parseLine(line string) (Sample, error) {
 	if err != nil {
 		return s, fmt.Errorf("bad timestamp: %w", err)
 	}
-	if t > maxTimestampMS {
+	if t > MaxTimestampMS {
 		return s, fmt.Errorf("timestamp %d exceeds the millisecond range (nanosecond unit error?)", t)
 	}
 	if component == "" || metric == "" {

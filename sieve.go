@@ -405,6 +405,16 @@ func ParseMetricAgg(s string) (MetricAgg, error) {
 	return tsdb.ParseAgg(s)
 }
 
+// MetricSample is one decoded observation: (component, metric, T, V).
+// It is what ServerClient.WriteSamples encodes into line protocol and
+// what ServerClient.WriteRemote groups into a Prometheus remote-write
+// request.
+type MetricSample = tsdb.Sample
+
+// MetricPoint is one stored (T, V) observation of a series, as returned
+// by ServerClient.Query.
+type MetricPoint = tsdb.Point
+
 // MetricRegistry holds the exported metrics of one component (returned
 // by App.Registry).
 type MetricRegistry = metrics.Registry
