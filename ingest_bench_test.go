@@ -12,6 +12,7 @@ import (
 
 	"github.com/sieve-microservices/sieve/internal/promremote"
 	"github.com/sieve-microservices/sieve/internal/snappy"
+	"github.com/sieve-microservices/sieve/internal/telemetry"
 	"github.com/sieve-microservices/sieve/internal/tsdb"
 )
 
@@ -45,11 +46,18 @@ func ingestPayloads() [][]byte {
 
 // ingestRow is one BENCH_ingest.json entry.
 type ingestRow struct {
-	Name         string  `json:"name"`
-	Shards       int     `json:"shards"`
-	PointsPerOp  int     `json:"points_per_op"`
+	Name        string `json:"name"`
+	Shards      int    `json:"shards"`
+	PointsPerOp int    `json:"points_per_op"`
+	// Writers is the concurrent-writer count of a RunParallel row (0 =
+	// the default GOMAXPROCS-driven parallelism of the older rows).
+	Writers      int     `json:"writers,omitempty"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	PointsPerSec float64 `json:"points_per_sec"`
+	// WALBytesPerSample is the on-disk WAL cost per stored sample of a
+	// durable row (0 for in-memory rows) — the v2 dictionary encoding's
+	// self-certifying size column.
+	WALBytesPerSample float64 `json:"wal_bytes_per_sample,omitempty"`
 }
 
 var ingestBench struct {
@@ -115,30 +123,49 @@ func BenchmarkShardedIngest(b *testing.B) {
 		name    string
 		shards  int  // 0 marks the plain DB baseline
 		durable bool // WAL-enabled store (tracks the durability overhead)
+		fsync   tsdb.FsyncPolicy
+		// writers: 0 = RunParallel at default parallelism (the legacy
+		// rows), 1 = a strictly serial loop, n>1 = RunParallel with n
+		// concurrent writer goroutines regardless of GOMAXPROCS.
+		writers int
 	}
-	cases := []tc{{"db-single-mutex", 0, false}, {"shards=1", 1, false}, {"shards=2", 2, false}, {"shards=4", 4, false}, {"shards=8", 8, false}}
+	cases := []tc{{name: "db-single-mutex"}, {name: "shards=1", shards: 1}, {name: "shards=2", shards: 2}, {name: "shards=4", shards: 4}, {name: "shards=8", shards: 8}}
 	if p := runtime.GOMAXPROCS(0); p > 8 {
-		cases = append(cases, tc{fmt.Sprintf("shards=%d", p), p, false})
+		cases = append(cases, tc{name: fmt.Sprintf("shards=%d", p), shards: p})
 	}
 	// WAL-enabled variant at the same shard count as the in-memory
 	// shards=4 row: the delta between the two is the WAL's ingest cost
 	// (encode + CRC + buffered write; fsync rides the background ticker).
-	cases = append(cases, tc{"shards=4+wal", 4, true})
+	cases = append(cases, tc{name: "shards=4+wal", shards: 4, durable: true})
+	// FsyncAlways rows: writers=1 is the serial-fsync baseline (every
+	// append pays its own fsync — the pre-group-commit equivalent);
+	// writers=4/8 is where the leader/follower queue coalesces waiters
+	// into shared fsyncs, which is invisible to a sequential bench.
+	cases = append(cases,
+		tc{name: "shards=4+wal-always/writers=1", shards: 4, durable: true, fsync: tsdb.FsyncAlways, writers: 1},
+		tc{name: "shards=4+wal-always/writers=4", shards: 4, durable: true, fsync: tsdb.FsyncAlways, writers: 4},
+		tc{name: "shards=4+wal-always/writers=8", shards: 4, durable: true, fsync: tsdb.FsyncAlways, writers: 8},
+	)
 
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			var store tsdb.Store
+			var durStore *tsdb.Sharded
+			var storeTel *tsdb.StoreTelemetry
 			switch {
 			case c.durable:
 				ds, err := tsdb.OpenSharded(c.shards, tsdb.DurabilityOptions{
 					Dir:           b.TempDir(),
-					Fsync:         tsdb.FsyncInterval,
+					Fsync:         c.fsync,
 					FlushInterval: -1, // measure the WAL alone, not block flushes
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 				defer ds.Close()
+				storeTel = tsdb.NewStoreTelemetry(telemetry.NewRegistry())
+				ds.SetTelemetry(storeTel)
+				durStore = ds
 				store = ds
 			case c.shards == 0:
 				store = tsdb.New()
@@ -146,18 +173,55 @@ func BenchmarkShardedIngest(b *testing.B) {
 				store = tsdb.NewSharded(c.shards)
 			}
 			var idx atomic.Int64
+			writeNext := func() bool {
+				p := payloads[int(idx.Add(1))%len(payloads)]
+				if _, err := store.Write(p); err != nil {
+					b.Error(err)
+					return false
+				}
+				return true
+			}
 			b.ReportAllocs()
+			if c.writers > 1 {
+				b.SetParallelism((c.writers + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			}
 			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
-					p := payloads[int(idx.Add(1))%len(payloads)]
-					if _, err := store.Write(p); err != nil {
-						b.Error(err)
+			if c.writers == 1 {
+				for i := 0; i < b.N; i++ {
+					if !writeNext() {
 						return
 					}
 				}
-			})
+			} else {
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if !writeNext() {
+							return
+						}
+					}
+				})
+			}
 			b.StopTimer()
+			var walBytesPerSample float64
+			if durStore != nil && b.N > 0 {
+				walBytesPerSample = float64(durStore.WALSizeBytes()) / (float64(b.N) * ingestPointsPerBatch)
+			}
+			if c.fsync == tsdb.FsyncAlways && b.N >= 200 {
+				// The group-commit telemetry must move under FsyncAlways
+				// load: every leader sync observes its cohort size. Gated
+				// on b.N so the CI -benchtime 1x smoke run stays a pure
+				// compile check. Saved fsyncs are reported, not asserted:
+				// whether waiters pile up behind an in-flight fsync here
+				// depends on the host disk's fsync latency (a fast enough
+				// disk drains each waiter before the next arrives), so the
+				// coalescing arithmetic is pinned deterministically by
+				// TestGroupCommitBatchedAppendsShareOneFsync instead.
+				if storeTel.WALGroupCommitBatches.Count() == 0 {
+					b.Error("sieve_wal_group_commit_batches never observed a leader fsync")
+				}
+				b.Logf("group-commit leader fsyncs=%d fsyncs saved=%d",
+					storeTel.WALGroupCommitBatches.Count(), storeTel.WALFsyncsSaved.Value())
+			}
 			elapsed := b.Elapsed().Seconds()
 			if elapsed <= 0 {
 				return
@@ -165,11 +229,13 @@ func BenchmarkShardedIngest(b *testing.B) {
 			pps := float64(ingestPointsPerBatch) * float64(b.N) / elapsed
 			b.ReportMetric(pps, "points/s")
 			recordIngestRow(ingestRow{
-				Name:         c.name,
-				Shards:       c.shards,
-				PointsPerOp:  ingestPointsPerBatch,
-				NsPerOp:      b.Elapsed().Seconds() * 1e9 / float64(b.N),
-				PointsPerSec: pps,
+				Name:              c.name,
+				Shards:            c.shards,
+				PointsPerOp:       ingestPointsPerBatch,
+				Writers:           c.writers,
+				NsPerOp:           b.Elapsed().Seconds() * 1e9 / float64(b.N),
+				PointsPerSec:      pps,
+				WALBytesPerSample: walBytesPerSample,
 			})
 		})
 	}

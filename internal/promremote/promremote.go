@@ -89,36 +89,56 @@ const (
 // decoding a request costs one buffer conversion plus two short slice
 // allocations per series.
 func Unmarshal(data []byte) (*WriteRequest, error) {
+	var w WriteRequest
+	if err := UnmarshalInto(&w, data); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// UnmarshalInto decodes a WriteRequest into w, reusing w's TimeSeries
+// backing array and each element's Labels/Samples slices from a previous
+// decode — the pooled form of Unmarshal, which makes steady-state decode
+// allocation per request one string conversion (plus growth the first
+// few requests). On error w holds partially decoded content and must not
+// be read, but remains safe to reuse. Reused slices may pin the previous
+// request's backing string until overwritten, which is bounded by one
+// request's size per pooled scratch.
+func UnmarshalInto(w *WriteRequest, data []byte) error {
 	s := string(data)
 	n, err := countMessages(s, 1)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	w := WriteRequest{TimeSeries: make([]TimeSeries, 0, n)}
+	if cap(w.TimeSeries) < n {
+		w.TimeSeries = make([]TimeSeries, 0, n)
+	}
+	w.TimeSeries = w.TimeSeries[:0]
 	for len(s) > 0 {
 		field, typ, rest, err := readTag(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s = rest
 		if field == 1 && typ == wireLen {
 			msg, rest, err := readBytes(s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s = rest
-			ts, err := unmarshalTimeSeries(msg)
-			if err != nil {
-				return nil, err
+			// Extend in place so the element keeps its old Labels/Samples
+			// capacity for unmarshalTimeSeriesInto to reuse.
+			w.TimeSeries = w.TimeSeries[:len(w.TimeSeries)+1]
+			if err := unmarshalTimeSeriesInto(&w.TimeSeries[len(w.TimeSeries)-1], msg); err != nil {
+				return err
 			}
-			w.TimeSeries = append(w.TimeSeries, ts)
 			continue
 		}
 		if s, err = skipField(s, typ); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return &w, nil
+	return nil
 }
 
 // countMessages skims data counting length-delimited occurrences of
@@ -142,13 +162,14 @@ func countMessages(data string, field int) (int, error) {
 	return n, nil
 }
 
-func unmarshalTimeSeries(data string) (TimeSeries, error) {
-	var ts TimeSeries
+// unmarshalTimeSeriesInto decodes one TimeSeries message into ts,
+// reusing ts.Labels/ts.Samples capacity when it suffices.
+func unmarshalTimeSeriesInto(ts *TimeSeries, data string) error {
 	nLabels, nSamples := 0, 0
 	for s := data; len(s) > 0; {
 		f, typ, rest, err := readTag(s)
 		if err != nil {
-			return ts, err
+			return err
 		}
 		s = rest
 		switch {
@@ -158,48 +179,50 @@ func unmarshalTimeSeries(data string) (TimeSeries, error) {
 			nSamples++
 		}
 		if s, err = skipField(s, typ); err != nil {
-			return ts, err
+			return err
 		}
 	}
-	if nLabels > 0 {
+	if cap(ts.Labels) < nLabels {
 		ts.Labels = make([]Label, 0, nLabels)
 	}
-	if nSamples > 0 {
+	ts.Labels = ts.Labels[:0]
+	if cap(ts.Samples) < nSamples {
 		ts.Samples = make([]Sample, 0, nSamples)
 	}
+	ts.Samples = ts.Samples[:0]
 	for len(data) > 0 {
 		field, typ, rest, err := readTag(data)
 		if err != nil {
-			return ts, err
+			return err
 		}
 		data = rest
 		if typ == wireLen && (field == 1 || field == 2) {
 			msg, rest, err := readBytes(data)
 			if err != nil {
-				return ts, err
+				return err
 			}
 			data = rest
 			switch field {
 			case 1:
 				l, err := unmarshalLabel(msg)
 				if err != nil {
-					return ts, err
+					return err
 				}
 				ts.Labels = append(ts.Labels, l)
 			case 2:
 				s, err := unmarshalSample(msg)
 				if err != nil {
-					return ts, err
+					return err
 				}
 				ts.Samples = append(ts.Samples, s)
 			}
 			continue
 		}
 		if data, err = skipField(data, typ); err != nil {
-			return ts, err
+			return err
 		}
 	}
-	return ts, nil
+	return nil
 }
 
 func unmarshalLabel(data string) (Label, error) {

@@ -3,6 +3,7 @@ package promremote
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -245,4 +246,72 @@ func FuzzRemoteWriteDecode(f *testing.F) {
 			_, _, _ = MapSeries(ts.Labels, "job")
 		}
 	})
+}
+
+// bigRequest builds a request with nSeries series of nSamples each, the
+// shape the allocation-scaling test feeds UnmarshalInto.
+func bigRequest(nSeries, nSamples int) *WriteRequest {
+	w := &WriteRequest{TimeSeries: make([]TimeSeries, nSeries)}
+	for i := range w.TimeSeries {
+		ts := &w.TimeSeries[i]
+		ts.Labels = []Label{
+			{Name: MetricNameLabel, Value: fmt.Sprintf("metric_%d", i)},
+			{Name: "job", Value: "web"},
+			{Name: "instance", Value: "host-1:9100"},
+		}
+		ts.Samples = make([]Sample, nSamples)
+		for j := range ts.Samples {
+			ts.Samples[j] = Sample{Value: float64(i*nSamples + j), TimestampMS: int64(j) * 1000}
+		}
+	}
+	return w
+}
+
+// TestUnmarshalIntoAllocationScaling pins the pooled decoder's
+// steady-state cost: after one warm-up decode, UnmarshalInto allocates a
+// small constant per request — the one string conversion of the payload
+// — independent of how many series the request carries. Unmarshal (the
+// fresh-struct form) pays at least two slice allocations per series, so
+// a regression that drops the reuse shows up as hundreds of allocs here.
+func TestUnmarshalIntoAllocationScaling(t *testing.T) {
+	for _, nSeries := range []int{16, 256} {
+		data := Marshal(bigRequest(nSeries, 4))
+		var w WriteRequest
+		if err := UnmarshalInto(&w, data); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := UnmarshalInto(&w, data); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 2 {
+			t.Errorf("UnmarshalInto(%d series): %.1f allocs/run after warm-up, want <= 2", nSeries, allocs)
+		}
+	}
+}
+
+// TestUnmarshalIntoMatchesUnmarshal pins reuse correctness: decoding a
+// big request into scratch that previously held a bigger one yields
+// exactly what a fresh Unmarshal does.
+func TestUnmarshalIntoMatchesUnmarshal(t *testing.T) {
+	big := Marshal(bigRequest(64, 8))
+	small := Marshal(bigRequest(3, 2))
+	var w WriteRequest
+	if err := UnmarshalInto(&w, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalInto(&w, small); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Unmarshal(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.TimeSeries, fresh.TimeSeries) {
+		t.Fatal("reused decode differs from fresh decode")
+	}
+	if w.SampleCount() != 6 {
+		t.Fatalf("SampleCount = %d, want 6", w.SampleCount())
+	}
 }

@@ -44,7 +44,16 @@ func (s *Server) handleRemoteWrite(w http.ResponseWriter, r *http.Request) {
 		s.tel.remoteWriteSeconds.ObserveSince(start)
 		sp.End()
 	}()
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	sc, _ := s.rwScratch.Get().(*remoteWriteScratch)
+	if sc == nil {
+		sc = &remoteWriteScratch{}
+	}
+	// Every buffer below is stored back on sc before use, so returning
+	// the scratch on any exit path keeps whatever growth this request
+	// caused.
+	defer s.rwScratch.Put(sc)
+	body, err := appendReadAll(sc.body[:0], io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	sc.body = body
 	if err != nil {
 		s.writeErrors.Add(1)
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -73,15 +82,16 @@ func (s *Server) handleRemoteWrite(w http.ResponseWriter, r *http.Request) {
 			"decompressed payload %d exceeds %d bytes", declen, s.opts.RemoteWriteMaxBytes)
 		return
 	}
-	plain, err := snappy.Decode(body)
+	plain, err := snappy.AppendDecode(sc.plain, body)
 	if err != nil {
 		s.writeErrors.Add(1)
 		s.tel.remoteSnappyRejects.Inc()
 		httpError(w, http.StatusBadRequest, "snappy: %v", err)
 		return
 	}
-	req, err := promremote.Unmarshal(plain)
-	if err != nil {
+	sc.plain = plain
+	req := &sc.req
+	if err := promremote.UnmarshalInto(req, plain); err != nil {
 		s.writeErrors.Add(1)
 		s.tel.remoteProtoRejects.Inc()
 		httpError(w, http.StatusBadRequest, "protobuf: %v", err)
@@ -98,7 +108,10 @@ func (s *Server) handleRemoteWrite(w http.ResponseWriter, r *http.Request) {
 			"request carries %d samples, limit %d", c, s.opts.RemoteWriteMaxSamples)
 		return
 	}
-	samples := make([]tsdb.Sample, 0, req.SampleCount())
+	samples := sc.samples[:0]
+	if cap(samples) < req.SampleCount() {
+		samples = make([]tsdb.Sample, 0, req.SampleCount())
+	}
 	var batchMaxT int64
 	dropped := 0
 	for i := range req.TimeSeries {
@@ -144,6 +157,7 @@ func (s *Server) handleRemoteWrite(w http.ResponseWriter, r *http.Request) {
 	if dropped > 0 {
 		s.tel.remoteDroppedNonFinite.Add(uint64(dropped))
 	}
+	sc.samples = samples
 	sp.FieldInt("samples", int64(len(samples)))
 	// Wire accounting charges the compressed bytes — that is what
 	// crossed the network.
@@ -178,4 +192,33 @@ func retryAfterSeconds(d time.Duration) int {
 		secs = 1
 	}
 	return secs
+}
+
+// remoteWriteScratch is one request's reusable buffers, pooled on
+// Server.rwScratch. The decoded WriteRequest's label/value strings are
+// substrings of a per-request conversion inside UnmarshalInto, so reuse
+// pins at most one stale request's plaintext until overwritten.
+type remoteWriteScratch struct {
+	body    []byte
+	plain   []byte
+	req     promremote.WriteRequest
+	samples []tsdb.Sample
+}
+
+// appendReadAll reads r to EOF into buf's storage (the pooled form of
+// io.ReadAll), returning the filled slice.
+func appendReadAll(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }

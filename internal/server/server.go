@@ -303,6 +303,14 @@ type Server struct {
 	grangerMisses   atomic.Int64
 	warmComponents  atomic.Int64
 	sweptComponents atomic.Int64
+
+	// rwScratch recycles the remote-write request scratch (body and
+	// decompress buffers, decoded WriteRequest, mapped samples) across
+	// requests — the per-sample allocation gap vs line protocol was
+	// dominated by those four per-request allocations scaling with
+	// payload size. Safe to pool: IngestParsed retains nothing (the WAL
+	// copies bytes, the shards copy points and build fresh key strings).
+	rwScratch sync.Pool
 }
 
 // New creates a Server with its backing sharded store. With

@@ -65,11 +65,23 @@ func DecodedLen(src []byte) (n int, preamble int, err error) {
 // is trusted only as an allocation hint after validation: the element
 // stream must produce exactly that many bytes, no more and no fewer.
 func Decode(src []byte) ([]byte, error) {
+	return AppendDecode(nil, src)
+}
+
+// AppendDecode decompresses src into dst's storage, growing it only when
+// the plaintext outsizes dst's capacity, and returns the plaintext slice
+// (len = decompressed length). The pooled-buffer form of Decode: a server
+// decompressing similar-sized requests reuses one buffer across all of
+// them. dst's length is ignored; its contents are overwritten.
+func AppendDecode(dst, src []byte) ([]byte, error) {
 	n, sz, err := DecodedLen(src)
 	if err != nil {
 		return nil, err
 	}
-	dst := make([]byte, n)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
 	if err := decodeBody(dst, src[sz:]); err != nil {
 		return nil, err
 	}

@@ -170,3 +170,37 @@ func FuzzSnappyDecode(f *testing.F) {
 		}
 	})
 }
+
+// TestAppendDecodeReusesBuffer pins the pooled decode path: with a
+// buffer big enough from a previous request, AppendDecode allocates
+// nothing, and the output matches Decode byte for byte.
+func TestAppendDecodeReusesBuffer(t *testing.T) {
+	plain := bytes.Repeat([]byte("sieve snappy reuse pin, "), 512)
+	src := Encode(plain)
+	fresh, err := Decode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, plain) {
+		t.Fatal("Decode roundtrip mismatch")
+	}
+	buf := make([]byte, len(plain))
+	allocs := testing.AllocsPerRun(20, func() {
+		out, err := AppendDecode(buf, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	})
+	if allocs != 0 {
+		t.Errorf("AppendDecode with sufficient capacity: %.1f allocs/run, want 0", allocs)
+	}
+	if !bytes.Equal(buf, plain) {
+		t.Fatal("AppendDecode output differs from plaintext")
+	}
+	// A too-small buffer grows instead of corrupting.
+	out, err := AppendDecode(make([]byte, 3), src)
+	if err != nil || !bytes.Equal(out, plain) {
+		t.Fatalf("AppendDecode growth path: err=%v, match=%v", err, bytes.Equal(out, plain))
+	}
+}

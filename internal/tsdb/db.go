@@ -187,14 +187,25 @@ func (db *DB) WriteSamples(samples []Sample, wireBytes int) error {
 // appendSamples ingests decoded samples with point and CPU accounting
 // but no network accounting: the entry point used by Sharded, whose
 // front door owns the wire-level counters. On a durable store the batch
-// goes to the WAL first; a WAL failure rejects the whole batch so memory
-// never holds points the log does not cover.
+// goes to the WAL first; a WAL write failure rejects the whole batch so
+// memory never holds points the log's file does not cover. The WAL
+// write and the memory insert happen under one lock hold — that
+// atomicity is what lets a checkpoint cut (which rotates the WAL and
+// drains memory under the same lock) never split a batch between a
+// pruned segment and post-cut memory. Under FsyncAlways the durability
+// wait happens after the lock is released, through the WAL's
+// group-commit queue: concurrent appenders queue behind one in-flight
+// fsync and the next leader commits them all with a single sync, so the
+// request still returns only once its own batch is durable but the
+// fsync count scales with coalesced groups, not with requests.
 func (db *DB) appendSamples(samples []Sample) error {
 	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	var seq uint64
 	if db.wal != nil {
-		if err := db.wal.append(samples); err != nil {
+		var err error
+		if seq, err = db.wal.append(samples); err != nil {
+			db.mu.Unlock()
 			return err
 		}
 	}
@@ -203,6 +214,15 @@ func (db *DB) appendSamples(samples []Sample) error {
 	}
 	db.stats.Points += len(samples)
 	db.stats.IngestCPU += time.Since(start)
+	db.mu.Unlock()
+	if db.wal != nil && db.wal.policy == FsyncAlways {
+		// A commitWait error means durability is unconfirmed, not that
+		// the batch was dropped: the frames are in the log and the points
+		// are in memory, but the fsync covering them failed. Callers see
+		// a storage error; a crash before a later successful fsync loses
+		// the batch, a client retry may duplicate it.
+		return db.wal.commitWait(seq)
+	}
 	return nil
 }
 

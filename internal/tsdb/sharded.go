@@ -1,12 +1,16 @@
 package tsdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/sieve-microservices/sieve/internal/parallel"
 )
 
 // Sharded is a hash-partitioned store: series keys are FNV-hashed onto N
@@ -28,6 +32,24 @@ type Sharded struct {
 	// segments hang off the shards, dur owns the immutable block files,
 	// checkpoints, and retention. nil for a pure in-memory store.
 	dur *durable
+
+	// scratchPool recycles the partition scratch (index, counts, backing
+	// array, per-shard error slots) across ingests, so steady-state
+	// ingest allocation is flat in batch size. Safe to reuse after an
+	// ingest returns: nothing downstream retains the partitioned
+	// sub-slices — the WAL copies bytes and the shards copy points.
+	scratchPool sync.Pool
+}
+
+// ingestScratch is one ingest's reusable partition + fan-out state.
+type ingestScratch struct {
+	idx     []uint32
+	counts  []int
+	next    []int
+	backing []Sample
+	parts   [][]Sample
+	order   []int // indices of the non-empty shards, ascending
+	errs    []error
 }
 
 // NewSharded creates a store with n shards; n <= 0 uses GOMAXPROCS.
@@ -59,15 +81,36 @@ func (s *Sharded) shardIndex(key string) int {
 	return int(h % uint32(len(s.shards)))
 }
 
-// partition groups samples by destination shard with a counting sort
-// into one backing array (two allocations regardless of batch size),
-// preserving arrival order within each shard — and therefore within each
-// series, since a series maps to exactly one shard. parts[i] is a
-// sub-slice of the backing array; empty shards get a nil slice.
-func (s *Sharded) partition(samples []Sample) [][]Sample {
+// getScratch takes an ingestScratch from the pool (or makes one).
+func (s *Sharded) getScratch() *ingestScratch {
+	if sc, ok := s.scratchPool.Get().(*ingestScratch); ok {
+		return sc
+	}
+	return &ingestScratch{}
+}
+
+// partitionInto groups samples by destination shard with a counting sort
+// into the scratch's backing array (allocation-free once the scratch has
+// grown to the workload's steady-state batch size), preserving arrival
+// order within each shard — and therefore within each series, since a
+// series maps to exactly one shard. sc.parts[i] is a sub-slice of the
+// backing array; empty shards get a nil slice.
+func (s *Sharded) partitionInto(sc *ingestScratch, samples []Sample) [][]Sample {
 	n := len(s.shards)
-	idx := make([]uint32, len(samples))
-	counts := make([]int, n+1)
+	if cap(sc.idx) < len(samples) {
+		sc.idx = make([]uint32, len(samples))
+	}
+	idx := sc.idx[:len(samples)]
+	if cap(sc.counts) < n+1 {
+		sc.counts = make([]int, n+1)
+		sc.next = make([]int, n)
+		sc.parts = make([][]Sample, n)
+		sc.errs = make([]error, n)
+	}
+	counts := sc.counts[:n+1]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for k, smp := range samples {
 		i := s.shardIndex(smp.Key())
 		idx[k] = uint32(i)
@@ -76,51 +119,109 @@ func (s *Sharded) partition(samples []Sample) [][]Sample {
 	for i := 1; i <= n; i++ {
 		counts[i] += counts[i-1]
 	}
-	backing := make([]Sample, len(samples))
-	next := make([]int, n)
+	if cap(sc.backing) < len(samples) {
+		sc.backing = make([]Sample, len(samples))
+	}
+	backing := sc.backing[:len(samples)]
+	next := sc.next[:n]
 	copy(next, counts[:n])
 	for k, smp := range samples {
 		i := idx[k]
 		backing[next[i]] = smp
 		next[i]++
 	}
-	parts := make([][]Sample, n)
+	parts := sc.parts[:n]
 	for i := 0; i < n; i++ {
 		if counts[i+1] > counts[i] {
 			parts[i] = backing[counts[i]:counts[i+1]]
+		} else {
+			parts[i] = nil
 		}
 	}
 	return parts
 }
 
+// parallelIngestMinBatch is the batch size below which a CPU-bound
+// multi-shard append stays serial: fanning goroutines out costs more
+// than walking a small batch's shards inline. Durability-bound appends
+// (FsyncAlways) always fan out — their wait is disk latency, and
+// overlapping the per-shard commit waits is the point.
+const parallelIngestMinBatch = 256
+
+// fsyncAlways reports whether appends block on an inline durability
+// wait (the group-commit path).
+func (s *Sharded) fsyncAlways() bool {
+	return s.dur != nil && s.dur.opts.Fsync == FsyncAlways
+}
+
 // ingest partitions and appends a decoded batch, returning how many
-// samples were actually stored: on a multi-shard durable store one
+// samples were confirmed stored: on a multi-shard durable store one
 // shard's WAL failure drops only that shard's sub-batch, so stored can
-// be anywhere in [0, len(samples)] alongside a non-nil error.
+// be anywhere in [0, len(samples)] alongside a non-nil error. Non-empty
+// sub-batches append in parallel when it pays — always under
+// FsyncAlways, where the per-shard commit waits overlap on the same
+// group fsyncs, and for large batches on multi-core hosts otherwise —
+// with deterministic aggregation: stored counts sum over shards and the
+// reported error is the lowest-indexed shard's, exactly what the serial
+// walk produced. Results are bit-identical either way because a series
+// lives entirely inside one shard and arrival order within each shard
+// is the partition order.
 func (s *Sharded) ingest(samples []Sample, wireBytes int, start time.Time) (int, error) {
 	var stored int
 	var err error
-	if len(s.shards) == 1 {
+	if len(samples) == 0 {
+		s.ingestCPU.Add(int64(time.Since(start)))
+	} else if len(s.shards) == 1 {
 		// Single shard: nothing to partition.
 		s.ingestCPU.Add(int64(time.Since(start)))
 		if err = s.shards[0].appendSamples(samples); err == nil {
 			stored = len(samples)
 		}
 	} else {
-		parts := s.partition(samples)
+		sc := s.getScratch()
+		parts := s.partitionInto(sc, samples)
 		s.ingestCPU.Add(int64(time.Since(start)))
-		for i, part := range parts {
-			if len(part) == 0 {
-				continue
-			}
-			if aerr := s.shards[i].appendSamples(part); aerr != nil {
-				if err == nil {
-					err = aerr
-				}
-			} else {
-				stored += len(part)
+		order := sc.order[:0]
+		for i := range parts {
+			if len(parts[i]) > 0 {
+				order = append(order, i)
 			}
 		}
+		sc.order = order
+		fanOut := len(order) > 1 &&
+			(s.fsyncAlways() || (len(samples) >= parallelIngestMinBatch && runtime.GOMAXPROCS(0) > 1))
+		if fanOut {
+			// Tasks record their outcome per slot and never fail the pool:
+			// one shard's WAL trouble must not cancel a healthy sibling's
+			// append (the serial walk kept going too). Under FsyncAlways
+			// the workers are fsync-bound, not CPU-bound, so one worker
+			// per sub-batch regardless of core count.
+			_ = parallel.ForEach(context.Background(), len(order), len(order), func(_ context.Context, k int) error {
+				sc.errs[k] = s.shards[order[k]].appendSamples(parts[order[k]])
+				return nil
+			})
+			for k, i := range order {
+				if sc.errs[k] != nil {
+					if err == nil {
+						err = sc.errs[k]
+					}
+					sc.errs[k] = nil
+				} else {
+					stored += len(parts[i])
+				}
+			}
+		} else {
+			for _, i := range order {
+				if aerr := s.shards[i].appendSamples(parts[i]); aerr != nil {
+					if err == nil {
+						err = aerr
+					}
+				} else {
+					stored += len(parts[i])
+				}
+			}
+		}
+		s.scratchPool.Put(sc)
 	}
 	s.netIn.Add(int64(wireBytes))
 	s.netOut.Add(ackBytes)
@@ -372,11 +473,13 @@ func (s *Sharded) routeReplay(samples []Sample) {
 		s.shards[0].replaySamples(samples)
 		return
 	}
-	for i, part := range s.partition(samples) {
+	sc := s.getScratch()
+	for i, part := range s.partitionInto(sc, samples) {
 		if len(part) > 0 {
 			s.shards[i].replaySamples(part)
 		}
 	}
+	s.scratchPool.Put(sc)
 }
 
 // reinsert splices stolen series snapshots back into their owning

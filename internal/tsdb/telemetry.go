@@ -22,8 +22,21 @@ type StoreTelemetry struct {
 	// write + inline fsync under FsyncAlways), per batch.
 	WALAppendSeconds *telemetry.Histogram
 	// WALFsyncSeconds times every WAL fsync: the background ticker's
-	// flushes and FsyncAlways's inline syncs.
+	// flushes and FsyncAlways's group-commit leader syncs.
 	WALFsyncSeconds *telemetry.Histogram
+	// WALGroupCommitBatches observes, per group-commit fsync, how many
+	// appended batches that one fsync made durable — the coalescing
+	// factor. A histogram pinned at 1 means no concurrency (every
+	// fsync covered exactly its own batch); mass at 4/8/16 is the
+	// group-commit win.
+	WALGroupCommitBatches *telemetry.Histogram
+	// WALFsyncsSaved counts fsyncs avoided by group commit: for a
+	// leader sync covering n batches, n-1 fsyncs the pre-group-commit
+	// protocol would have issued.
+	WALFsyncsSaved *telemetry.Counter
+	// WALBytesWritten counts bytes appended to WAL segments (framed
+	// record bytes, after series-dictionary compression).
+	WALBytesWritten *telemetry.Counter
 	// CheckpointSeconds times whole checkpoint runs (cut + block build +
 	// WAL prune + retention), success or failure.
 	CheckpointSeconds *telemetry.Histogram
@@ -66,7 +79,14 @@ func NewStoreTelemetry(reg *telemetry.Registry) *StoreTelemetry {
 		WALAppendSeconds: reg.Histogram("sieve_wal_append_seconds",
 			"WAL record append latency per batch (including inline fsync under -fsync always)", nil),
 		WALFsyncSeconds: reg.Histogram("sieve_wal_fsync_seconds",
-			"WAL fsync latency (background ticker flushes and inline syncs)", nil),
+			"WAL fsync latency (background ticker flushes and group-commit leader syncs)", nil),
+		WALGroupCommitBatches: reg.Histogram("sieve_wal_group_commit_batches",
+			"appended batches made durable per group-commit fsync (coalescing factor)",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		WALFsyncsSaved: reg.Counter("sieve_wal_group_commit_fsyncs_saved_total",
+			"fsyncs avoided by group commit (cohort size minus one per leader sync)"),
+		WALBytesWritten: reg.Counter("sieve_wal_bytes_written_total",
+			"bytes appended to WAL segments"),
 		CheckpointSeconds: reg.Histogram("sieve_checkpoint_seconds",
 			"checkpoint duration: cut, block build, WAL prune, retention", nil),
 		CheckpointPoints: reg.Counter("sieve_checkpoint_points_total",
@@ -126,11 +146,13 @@ func (db *DB) setTelemetry(t *StoreTelemetry) {
 	db.tel = t
 	db.mu.Unlock()
 	if db.wal != nil {
-		var appendH, syncH *telemetry.Histogram
+		var appendH, syncH, groupH *telemetry.Histogram
+		var saved, bytes *telemetry.Counter
 		if t != nil {
-			appendH, syncH = t.WALAppendSeconds, t.WALFsyncSeconds
+			appendH, syncH, groupH = t.WALAppendSeconds, t.WALFsyncSeconds, t.WALGroupCommitBatches
+			saved, bytes = t.WALFsyncsSaved, t.WALBytesWritten
 		}
-		db.wal.setTelemetry(appendH, syncH)
+		db.wal.setTelemetry(appendH, syncH, groupH, saved, bytes)
 	}
 }
 

@@ -63,9 +63,36 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // little-endian, preceding every record.
 const walRecordHeader = 8
 
-// appendWALSamples encodes a batch of samples as one WAL record payload:
-// a uvarint count followed by, per sample, length-prefixed component and
-// metric strings, a zigzag-varint timestamp, and the raw float64 bits.
+// WAL record payload versioning. A v1 payload starts with its uvarint
+// sample count, which is never zero (empty batches are not appended), so
+// the byte 0x00 is free to mark a versioned v2 payload: 0x00, then a
+// record-type byte, then the type's body. Replay switches per record on
+// that first byte, which is what makes mixed-version recovery (v1
+// segments from an old process next to v2 segments from this one — or
+// even both forms inside one directory) seamless.
+const (
+	walV2Marker = 0x00
+	// walRecSeries defines one series for the rest of the segment:
+	// uvarint id, then length-prefixed component and metric strings. The
+	// writer emits it on a series' first occurrence per segment; ids are
+	// assigned sequentially from 0 and die with the segment.
+	walRecSeries = 0x01
+	// walRecSamples is a sample batch referencing dictionary ids:
+	// uvarint count, then per sample uvarint series id, zigzag-varint
+	// timestamp delta from the record's previous sample (the first
+	// sample's delta is from zero, i.e. the absolute timestamp), raw
+	// float64 bits. Collector batches carry one scrape's worth of equal
+	// or near-equal timestamps, so the deltas are almost always one
+	// byte.
+	walRecSamples = 0x02
+)
+
+// appendWALSamples encodes a batch as one v1 record payload: a uvarint
+// count followed by, per sample, length-prefixed component and metric
+// strings, a zigzag-varint timestamp, and the raw float64 bits. The
+// writer emits v2 (see appendFramesV2); the v1 encoder is kept because
+// replay must keep decoding pre-dictionary segments forever and the
+// mixed-version tests need to produce them.
 func appendWALSamples(buf []byte, samples []Sample) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(samples)))
 	for _, s := range samples {
@@ -129,6 +156,161 @@ func decodeWALSamples(payload []byte) ([]Sample, error) {
 	return out, nil
 }
 
+// seriesIdent is one dictionary entry: the strings a v2 sample record's
+// id resolves to.
+type seriesIdent struct {
+	component string
+	metric    string
+}
+
+// beginFrame reserves a record header in buf and returns the payload
+// start offset; finishFrame fills the header once the payload is built.
+func beginFrame(buf []byte) ([]byte, int) {
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	return buf, len(buf)
+}
+
+func finishFrame(buf []byte, payloadStart int) []byte {
+	payload := buf[payloadStart:]
+	binary.LittleEndian.PutUint32(buf[payloadStart-walRecordHeader:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[payloadStart-walRecordHeader+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// appendSeriesFrame appends one complete walRecSeries record (header
+// included) defining id -> component/metric.
+func appendSeriesFrame(buf []byte, id uint64, component, metric string) []byte {
+	buf, start := beginFrame(buf)
+	buf = append(buf, walV2Marker, walRecSeries)
+	buf = binary.AppendUvarint(buf, id)
+	buf = binary.AppendUvarint(buf, uint64(len(component)))
+	buf = append(buf, component...)
+	buf = binary.AppendUvarint(buf, uint64(len(metric)))
+	buf = append(buf, metric...)
+	return finishFrame(buf, start)
+}
+
+// appendSamplesFrameV2 appends one complete walRecSamples record whose
+// samples reference ids via lookup (every series must already be in the
+// dictionary).
+func appendSamplesFrameV2(buf []byte, samples []Sample, lookup func(component, metric string) uint64) []byte {
+	buf, start := beginFrame(buf)
+	buf = append(buf, walV2Marker, walRecSamples)
+	buf = binary.AppendUvarint(buf, uint64(len(samples)))
+	var prevT int64
+	for i := range samples {
+		s := &samples[i]
+		buf = binary.AppendUvarint(buf, lookup(s.Component, s.Metric))
+		buf = binary.AppendVarint(buf, s.T-prevT)
+		prevT = s.T
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.V))
+	}
+	return finishFrame(buf, start)
+}
+
+// walDecoder holds one segment's replay-side series dictionary,
+// rebuilt from walRecSeries records as the segment streams by.
+type walDecoder struct {
+	dict []seriesIdent
+}
+
+// decodeWALRecord decodes one record payload of either version. A v1
+// payload decodes standalone; a v2 series record extends the decoder's
+// dictionary and yields no samples; a v2 sample record resolves its ids
+// against the dictionary built so far. Any malformed byte — including a
+// series id the segment never defined or a non-sequential definition —
+// is an error, which replay treats like any other corrupt record.
+func (d *walDecoder) decodeWALRecord(payload []byte) ([]Sample, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("tsdb: wal record: empty payload")
+	}
+	if payload[0] != walV2Marker {
+		return decodeWALSamples(payload)
+	}
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("tsdb: wal record: truncated v2 header")
+	}
+	body := payload[2:]
+	switch payload[1] {
+	case walRecSeries:
+		id, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("tsdb: wal series record: bad id")
+		}
+		if id != uint64(len(d.dict)) {
+			return nil, fmt.Errorf("tsdb: wal series record: id %d out of sequence (have %d)", id, len(d.dict))
+		}
+		body = body[n:]
+		readStr := func() (string, error) {
+			l, n := binary.Uvarint(body)
+			if n <= 0 || uint64(len(body)-n) < l {
+				return "", fmt.Errorf("tsdb: wal series record: truncated string")
+			}
+			s := string(body[n : n+int(l)])
+			body = body[n+int(l):]
+			return s, nil
+		}
+		var ident seriesIdent
+		var err error
+		if ident.component, err = readStr(); err != nil {
+			return nil, err
+		}
+		if ident.metric, err = readStr(); err != nil {
+			return nil, err
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("tsdb: wal series record: %d trailing bytes", len(body))
+		}
+		d.dict = append(d.dict, ident)
+		return nil, nil
+	case walRecSamples:
+		count, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("tsdb: wal record: bad sample count")
+		}
+		body = body[n:]
+		// Each sample costs at least 1 id byte + 1 timestamp byte + 8
+		// value bytes, so a corrupt count cannot force a huge allocation.
+		if count > uint64(len(body)/10)+1 {
+			return nil, fmt.Errorf("tsdb: wal record claims %d samples in %d bytes", count, len(body))
+		}
+		out := make([]Sample, 0, count)
+		var prevT int64
+		for i := uint64(0); i < count; i++ {
+			id, n := binary.Uvarint(body)
+			if n <= 0 {
+				return nil, fmt.Errorf("tsdb: wal record: truncated series id")
+			}
+			if id >= uint64(len(d.dict)) {
+				return nil, fmt.Errorf("tsdb: wal record: undefined series id %d", id)
+			}
+			body = body[n:]
+			dt, n := binary.Varint(body)
+			if n <= 0 {
+				return nil, fmt.Errorf("tsdb: wal record: truncated timestamp")
+			}
+			body = body[n:]
+			if len(body) < 8 {
+				return nil, fmt.Errorf("tsdb: wal record: truncated value")
+			}
+			prevT += dt
+			ident := &d.dict[id]
+			out = append(out, Sample{
+				Component: ident.component,
+				Metric:    ident.metric,
+				T:         prevT,
+				V:         math.Float64frombits(binary.LittleEndian.Uint64(body)),
+			})
+			body = body[8:]
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("tsdb: wal record: %d trailing bytes", len(body))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("tsdb: wal record: unknown v2 record type 0x%02x", payload[1])
+}
+
 // walSegmentName formats a segment sequence number as its file name.
 func walSegmentName(seq uint64) string { return fmt.Sprintf("%08d.wal", seq) }
 
@@ -177,24 +359,72 @@ type walWriter struct {
 	pendingTrunc bool
 	buf          []byte // encode scratch, reused across appends
 
+	// dict is the open segment's series dictionary (component -> metric
+	// -> id): a series gets a walRecSeries record and a sequential id on
+	// its first appearance, and sample records reference ids from then
+	// on. Two-level so the hot-path lookup never concatenates a key.
+	// Reset on every roll — the dictionary's lifetime is the segment, so
+	// replay of any single segment is self-contained. newSeries is the
+	// per-append rollback scratch: ids assigned by an append whose write
+	// fails must leave the dictionary again, or a later sample record
+	// would reference an id that never reached disk.
+	dict      map[string]map[string]uint64
+	nextID    uint64
+	newSeries []seriesIdent
+
 	// appendHist/syncHist, when non-nil, time successful appends and
 	// fsyncs. Set via setTelemetry (under mu, before traffic) and read
 	// only under mu, so installation is ordered against the fsync
 	// ticker.
 	appendHist *telemetry.Histogram
 	syncHist   *telemetry.Histogram
+	// bytesCounter, when non-nil, counts WAL bytes written (frames
+	// including headers), under mu like the histograms.
+	bytesCounter *telemetry.Counter
 
 	// segments counts live segment files (older retained ones plus the
 	// open one), maintained by roll/remove so the gauge needs no readdir.
 	segments int
+
+	// Group-commit state, guarded by cmu (never held while acquiring
+	// mu; mu-holders may take cmu briefly). Every append is assigned a
+	// sequence number after its write syscall completes; syncedSeq is
+	// the highest append known to be on stable storage — advanced by a
+	// commit leader's fsync, by segment rolls (which fsync the old file
+	// before closing it), and by close. commitWait blocks an FsyncAlways
+	// appender until its seq is covered: the first waiter to find no
+	// fsync in flight becomes the leader and syncs everyone queued so
+	// far with one fsync (leader/follower group commit).
+	cmu       sync.Mutex
+	ccond     *sync.Cond
+	appendSeq uint64
+	syncedSeq uint64
+	syncing   bool
+	// failSeq/failErr deliver a failed group fsync to its cohort: every
+	// waiter at or below failSeq whose data a later fsync has not since
+	// covered gets failErr. Appends after the failure start a fresh
+	// group, so a recovered disk resumes service without restart.
+	failSeq uint64
+	failErr error
+	// groupHist observes appends-per-fsync; savedCounter counts fsyncs
+	// avoided by coalescing. Set via setTelemetry before traffic, read
+	// under cmu.
+	groupHist    *telemetry.Histogram
+	savedCounter *telemetry.Counter
 }
 
-// setTelemetry installs the append/fsync latency histograms.
-func (w *walWriter) setTelemetry(appendH, syncH *telemetry.Histogram) {
+// setTelemetry installs the append/fsync latency histograms, the
+// group-commit instruments, and the bytes-written counter.
+func (w *walWriter) setTelemetry(appendH, syncH, groupH *telemetry.Histogram, saved, bytes *telemetry.Counter) {
 	w.mu.Lock()
 	w.appendHist = appendH
 	w.syncHist = syncH
+	w.bytesCounter = bytes
 	w.mu.Unlock()
+	w.cmu.Lock()
+	w.groupHist = groupH
+	w.savedCounter = saved
+	w.cmu.Unlock()
 }
 
 // segmentCount reports the number of live segment files.
@@ -237,7 +467,9 @@ func openWALWriter(dir string, policy FsyncPolicy, segMax int64) (*walWriter, er
 			retained += fi.Size()
 		}
 	}
-	w := &walWriter{dir: dir, policy: policy, segMax: segMax, seq: next, retained: retained, segments: len(seqs) + 1}
+	w := &walWriter{dir: dir, policy: policy, segMax: segMax, seq: next, retained: retained, segments: len(seqs) + 1,
+		dict: map[string]map[string]uint64{}}
+	w.ccond = sync.NewCond(&w.cmu)
 	if w.f, err = w.create(next); err != nil {
 		return nil, err
 	}
@@ -248,12 +480,59 @@ func (w *walWriter) create(seq uint64) (*os.File, error) {
 	return os.OpenFile(filepath.Join(w.dir, walSegmentName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
-// append frames and writes one batch as a single record, rolling the
-// segment first when it is full. With FsyncAlways the record is on stable
-// storage when append returns.
-func (w *walWriter) append(samples []Sample) error {
+// encodeFramesLocked rebuilds w.buf with this batch's v2 frames: one
+// walRecSeries frame per series the open segment has not defined yet,
+// then one walRecSamples frame referencing dictionary ids. Newly
+// assigned ids are recorded in w.newSeries so a failed write can take
+// them back out of the dictionary. Caller holds w.mu.
+func (w *walWriter) encodeFramesLocked(samples []Sample) {
+	w.buf = w.buf[:0]
+	w.newSeries = w.newSeries[:0]
+	for i := range samples {
+		s := &samples[i]
+		byMetric := w.dict[s.Component]
+		if byMetric == nil {
+			byMetric = map[string]uint64{}
+			w.dict[s.Component] = byMetric
+		}
+		if _, ok := byMetric[s.Metric]; !ok {
+			id := w.nextID
+			w.nextID++
+			byMetric[s.Metric] = id
+			w.buf = appendSeriesFrame(w.buf, id, s.Component, s.Metric)
+			w.newSeries = append(w.newSeries, seriesIdent{component: s.Component, metric: s.Metric})
+		}
+	}
+	w.buf = appendSamplesFrameV2(w.buf, samples, func(component, metric string) uint64 {
+		return w.dict[component][metric]
+	})
+}
+
+// rollbackDictLocked removes the ids the current append assigned: its
+// series frames are not on disk (or are being truncated away), so later
+// sample records must not reference them.
+func (w *walWriter) rollbackDictLocked() {
+	for _, ident := range w.newSeries {
+		delete(w.dict[ident.component], ident.metric)
+	}
+	w.nextID -= uint64(len(w.newSeries))
+	w.newSeries = w.newSeries[:0]
+}
+
+// append encodes and writes one batch as v2 frames (series definitions
+// first, then the sample record), rolling the segment first when it is
+// full. The write is buffered: durability comes from the background
+// ticker (FsyncInterval), the OS (FsyncNever), or commitWait
+// (FsyncAlways — the returned sequence number is the handle to wait
+// on). On a write failure the frames are truncated back out and the
+// dictionary rolled back, so the segment stays on a clean frame
+// boundary and no id escapes that replay could not resolve.
+func (w *walWriter) append(samples []Sample) (uint64, error) {
 	if len(samples) == 0 {
-		return nil
+		w.cmu.Lock()
+		seq := w.appendSeq
+		w.cmu.Unlock()
+		return seq, nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -263,58 +542,138 @@ func (w *walWriter) append(samples []Sample) error {
 		// letting the store keep acknowledging on a sinking log.
 		err := w.syncErr
 		w.syncErr = nil
-		return fmt.Errorf("tsdb: wal fsync (background): %w", err)
+		return 0, fmt.Errorf("tsdb: wal fsync (background): %w", err)
 	}
 	if err := w.clearPendingTruncLocked(); err != nil {
-		return err
+		return 0, err
 	}
 	var start time.Time
 	if w.appendHist != nil {
 		start = time.Now()
 	}
-	w.buf = w.buf[:0]
-	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
-	w.buf = appendWALSamples(w.buf, samples)
-	payload := w.buf[walRecordHeader:]
-	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
-
+	w.encodeFramesLocked(samples)
 	if w.size > 0 && w.size+int64(len(w.buf)) > w.segMax {
+		// The encode above may have defined series in the dictionary of
+		// the segment we are about to leave; rollLocked resets the
+		// dictionary, so re-encode against the fresh segment (where every
+		// series of the batch is new and gets a definition frame).
 		if err := w.rollLocked(); err != nil {
-			return err
+			return 0, err
 		}
+		w.encodeFramesLocked(samples)
 	}
 	if n, err := w.f.Write(w.buf); err != nil {
-		// Roll the torn record back so the next append starts on a clean
+		// Roll the torn frames back so the next append starts on a clean
 		// frame boundary: garbage mid-segment would otherwise stop replay
-		// there and discard every later (even fsynced) record.
+		// there and discard every later (even fsynced) record. If the
+		// same sick disk also fails the cut, remember it: the next
+		// append, roll, or close must retry before anything lands after
+		// the phantom frames.
 		if n > 0 && w.f.Truncate(w.size) != nil {
 			w.pendingTrunc = true
 		}
-		return fmt.Errorf("tsdb: wal append: %w", err)
+		w.rollbackDictLocked()
+		return 0, fmt.Errorf("tsdb: wal append: %w", err)
 	}
-	if w.policy == FsyncAlways {
-		if err := w.syncFileLocked(); err != nil {
-			// The batch is rejected: it never reaches memory and the
-			// client sees an error. Cut the record back out of the segment
-			// so a later replay cannot resurrect a write the client was
-			// told failed (a retry would then duplicate it). If the same
-			// sick disk also fails the cut, remember it: the next append,
-			// roll, or close must retry before anything lands after the
-			// phantom record.
-			if w.f.Truncate(w.size) != nil {
-				w.pendingTrunc = true
-			}
-			return fmt.Errorf("tsdb: wal fsync: %w", err)
-		}
-	} else {
-		w.dirty = true
-	}
+	w.dirty = true
 	w.size += int64(len(w.buf))
+	if w.bytesCounter != nil {
+		w.bytesCounter.Add(uint64(len(w.buf)))
+	}
+	w.cmu.Lock()
+	w.appendSeq++
+	seq := w.appendSeq
+	w.cmu.Unlock()
 	if w.appendHist != nil {
 		w.appendHist.ObserveSince(start)
 	}
-	return nil
+	return seq, nil
+}
+
+// commitWait blocks until the append identified by seq is on stable
+// storage, or until the group fsync that covered it fails — the
+// FsyncAlways durability gate. The first waiter that finds no fsync in
+// flight becomes the leader: it snapshots the newest completed append,
+// fsyncs once outside every lock, and that single fsync commits every
+// append queued while the previous one was in flight (its own cohort).
+// Followers just wait; each request still returns only once its own
+// batch is durable, so the FsyncAlways contract per request is
+// unchanged — only the fsync count scales with batches coalesced
+// instead of with requests.
+//
+// On a leader fsync failure every cohort member gets the error. Their
+// frames stay in the log and their samples stay in memory (unlike the
+// old inline-fsync path there is no single record to truncate away — a
+// cohort's frames interleave), so a failed FsyncAlways write means
+// "durability unconfirmed", not "not stored": a crash before a later
+// successful fsync loses it, a retry may duplicate it. Segment rolls
+// fsync the old file before closing it, so a roll racing a leader also
+// commits the cohort (the leader detects that and succeeds).
+func (w *walWriter) commitWait(seq uint64) error {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	for {
+		if w.syncedSeq >= seq {
+			return nil
+		}
+		if w.failErr != nil && w.failSeq >= seq {
+			return fmt.Errorf("tsdb: wal fsync: %w", w.failErr)
+		}
+		if !w.syncing {
+			w.syncing = true
+			target := w.appendSeq
+			prev := w.syncedSeq
+			groupHist, saved := w.groupHist, w.savedCounter
+			w.cmu.Unlock()
+
+			// Copy the file handle under mu (rolls replace it under mu),
+			// then fsync outside every lock so appenders keep queueing
+			// behind this flush — that queue is the next leader's cohort.
+			w.mu.Lock()
+			f := w.f
+			syncHist := w.syncHist
+			w.mu.Unlock()
+			// A nil handle means close already ran; its final fsync either
+			// advanced syncedSeq past target (checked below) or failed.
+			err := os.ErrClosed
+			if f != nil {
+				if syncHist != nil {
+					start := time.Now()
+					err = f.Sync()
+					syncHist.ObserveSince(start)
+				} else {
+					err = f.Sync()
+				}
+			}
+
+			w.cmu.Lock()
+			w.syncing = false
+			switch {
+			case err == nil:
+				if target > w.syncedSeq {
+					w.syncedSeq = target
+				}
+				if batches := target - prev; batches > 0 {
+					if groupHist != nil {
+						groupHist.Observe(float64(batches))
+					}
+					if saved != nil && batches > 1 {
+						saved.Add(batches - 1)
+					}
+				}
+			case w.syncedSeq >= target:
+				// A concurrent roll fsynced and closed the file under us
+				// (the usual error here is "file already closed"): the
+				// roll's own fsync covered everything up to target, so
+				// the cohort is durable and the error is noise.
+			default:
+				w.failSeq, w.failErr = target, err
+			}
+			w.ccond.Broadcast()
+			continue
+		}
+		w.ccond.Wait()
+	}
 }
 
 // clearPendingTruncLocked retries a previously failed rollback of a
@@ -333,7 +692,10 @@ func (w *walWriter) clearPendingTruncLocked() error {
 }
 
 // rollLocked closes the open segment (fsyncing it unless the policy is
-// never) and starts the next one.
+// never) and starts the next one. The dictionary dies with the segment;
+// the roll's fsync also commits every append queued on the group-commit
+// side, so waiters whose records land in the rolled segment are
+// released here rather than by a leader fsync of the new (empty) file.
 func (w *walWriter) rollLocked() error {
 	if err := w.clearPendingTruncLocked(); err != nil {
 		return err
@@ -342,6 +704,12 @@ func (w *walWriter) rollLocked() error {
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		w.cmu.Lock()
+		if w.appendSeq > w.syncedSeq {
+			w.syncedSeq = w.appendSeq
+		}
+		w.ccond.Broadcast()
+		w.cmu.Unlock()
 	}
 	if err := w.f.Close(); err != nil {
 		return err
@@ -350,6 +718,8 @@ func (w *walWriter) rollLocked() error {
 	w.seq++
 	w.size = 0
 	w.dirty = false
+	w.dict = map[string]map[string]uint64{}
+	w.nextID = 0
 	f, err := w.create(w.seq)
 	if err != nil {
 		return err
@@ -436,8 +806,18 @@ func (w *walWriter) close() error {
 	// file is closed either way: holding the fd open cannot fix the disk.
 	err := w.clearPendingTruncLocked()
 	if w.policy != FsyncNever {
-		if serr := w.f.Sync(); serr != nil && err == nil {
+		serr := w.f.Sync()
+		if serr != nil && err == nil {
 			err = serr
+		}
+		if serr == nil {
+			// Release any group-commit waiters the final fsync covered.
+			w.cmu.Lock()
+			if w.appendSeq > w.syncedSeq {
+				w.syncedSeq = w.appendSeq
+			}
+			w.ccond.Broadcast()
+			w.cmu.Unlock()
 		}
 	}
 	if cerr := w.f.Close(); cerr != nil && err == nil {
@@ -526,6 +906,11 @@ func replayWAL(dir string, apply func([]Sample)) (walReplayStats, error) {
 // physically ends mid-record) counts as truncation; a real read error
 // aborts the whole recovery instead of destructively "repairing" a
 // segment that a transient disk hiccup merely failed to read.
+// The decoder's dictionary starts empty per segment (dictionary
+// lifetime is the segment) and grows as walRecSeries records stream by;
+// v1 records decode standalone, so segments of either version — or a
+// segment mixing both record forms — replay with the same loop.
+// Records counts sample-bearing records only, matching appends.
 func replaySegment(path string, apply func([]Sample)) (goodOffset int64, records, samples int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -533,6 +918,7 @@ func replaySegment(path string, apply func([]Sample)) (goodOffset int64, records
 	}
 	defer f.Close()
 	var off int64
+	var dec walDecoder
 	hdr := make([]byte, walRecordHeader)
 	var payload []byte
 	for {
@@ -563,13 +949,15 @@ func replaySegment(path string, apply func([]Sample)) (goodOffset int64, records
 		if crc32.Checksum(payload, castagnoli) != want {
 			return off, records, samples, nil // corrupt payload
 		}
-		batch, err := decodeWALSamples(payload)
+		batch, err := dec.decodeWALRecord(payload)
 		if err != nil {
 			return off, records, samples, nil // framing ok, content corrupt
 		}
-		apply(batch)
-		records++
-		samples += len(batch)
+		if len(batch) > 0 {
+			apply(batch)
+			records++
+			samples += len(batch)
+		}
 		off += walRecordHeader + int64(length)
 	}
 }

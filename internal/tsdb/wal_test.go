@@ -53,7 +53,7 @@ func TestWALAppendReplayRoundtrip(t *testing.T) {
 	var want []Sample
 	for i := 0; i < 10; i++ {
 		b := walBatch(fmt.Sprintf("c%d", i), 16, int64(i)*1000)
-		if err := w.append(b); err != nil {
+		if _, err := w.append(b); err != nil {
 			t.Fatalf("append: %v", err)
 		}
 		want = append(want, b...)
@@ -81,7 +81,7 @@ func TestWALSegmentRollAndPrune(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := w.append(walBatch("c", 8, int64(i)*1000)); err != nil {
+		if _, err := w.append(walBatch("c", 8, int64(i)*1000)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -96,7 +96,7 @@ func TestWALSegmentRollAndPrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.append(walBatch("after", 8, 99000)); err != nil {
+	if _, err := w.append(walBatch("after", 8, 99000)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.removeSegmentsBelow(cut); err != nil {
@@ -125,7 +125,7 @@ func TestWALTruncatedTailRepair(t *testing.T) {
 	var want []Sample
 	for i := 0; i < 3; i++ {
 		b := walBatch("c", 8, int64(i)*1000)
-		if err := w.append(b); err != nil {
+		if _, err := w.append(b); err != nil {
 			t.Fatal(err)
 		}
 		if i < 2 {
@@ -164,7 +164,7 @@ func TestWALCorruptRecordDiscardsRest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := w.append(walBatch("c", 4, int64(i)*1000)); err != nil {
+		if _, err := w.append(walBatch("c", 4, int64(i)*1000)); err != nil {
 			t.Fatal(err)
 		}
 	}
